@@ -1,0 +1,54 @@
+"""Ablation — batch vs scalar point lookups.
+
+The predict-and-scan prediction step is a network forward pass; batching
+queries amortises it (one pass for the whole batch).  This quantifies the
+throughput win of `point_queries` over per-query `point_query` — relevant
+to the paper's M(1) query-cost term, which is fixed per invocation.
+"""
+
+import numpy as np
+
+from repro.bench.harness import format_table, time_call
+from repro.core import ELSIModelBuilder
+from repro.indices import MLIndex, ZMIndex
+
+
+def test_ablation_batch_queries(ctx, benchmark):
+    points = ctx.dataset("OSM1")
+    batch = points[: min(ctx.scale.n_point_queries * 4, len(points))]
+
+    def run():
+        rows = []
+        for cls in (ZMIndex, MLIndex):
+            builder = ELSIModelBuilder(ctx.config, method="SP")
+            index = cls(builder=builder).build(points)
+            got, batch_seconds = time_call(index.point_queries, batch)
+            assert got.all()
+
+            def scalar():
+                return np.array([index.point_query(p) for p in batch])
+
+            ref, scalar_seconds = time_call(scalar)
+            assert np.array_equal(got, ref)
+            rows.append(
+                {
+                    "index": cls.name,
+                    "batch_us": batch_seconds / len(batch) * 1e6,
+                    "scalar_us": scalar_seconds / len(batch) * 1e6,
+                    "speedup": scalar_seconds / max(batch_seconds, 1e-12),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["index", "batch (us/query)", "scalar (us/query)", "speedup"],
+        [
+            [r["index"], f"{r['batch_us']:.1f}", f"{r['scalar_us']:.1f}", f"{r['speedup']:.1f}x"]
+            for r in rows
+        ],
+        title=f"Ablation: batch vs scalar point lookups ({len(batch)} queries)",
+    ))
+    for r in rows:
+        assert r["speedup"] > 1.0, r

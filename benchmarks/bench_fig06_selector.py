@@ -1,0 +1,39 @@
+"""Figure 6 — method selector accuracy vs lambda.
+
+(a) FFN selector accuracy as the training cardinality cap u grows.
+(b) FFN vs RFR / RFC / DTR / DTC selectors.
+
+Paper shapes to hold: accuracy is highest at large u; FFN >= tree selectors
+(especially for lambda < 0.6); the hardest region is lambda ~ 0.6 where
+build and query costs weigh equally.
+"""
+
+from repro.bench.experiments import fig06_selector_accuracy
+from repro.bench.harness import format_table
+
+
+def test_fig06_selector_accuracy(ctx, benchmark):
+    result = benchmark.pedantic(
+        fig06_selector_accuracy, args=(ctx,), rounds=1, iterations=1
+    )
+
+    lams = [lam for lam, _ in next(iter(result["fig6a"].values()))]
+    rows_a = [
+        [f"u={u}"] + [f"{acc:.2f}" for _lam, acc in series]
+        for u, series in sorted(result["fig6a"].items())
+    ]
+    print()
+    print(format_table(["cap"] + [f"lam={l}" for l in lams], rows_a,
+                       title="Figure 6(a): FFN selector accuracy vs lambda"))
+    rows_b = [
+        [model] + [f"{acc:.2f}" for _lam, acc in series]
+        for model, series in result["fig6b"].items()
+    ]
+    print(format_table(["model"] + [f"lam={l}" for l in lams], rows_b,
+                       title="Figure 6(b): selector model comparison"))
+
+    # Shape assertions (loose: measured speedups are noisy at small scale).
+    ffn = dict(result["fig6b"]["FFN"])
+    assert ffn[1.0] >= 0.5, "FFN should learn the build-time ordering"
+    mean_acc = {m: sum(a for _l, a in s) / len(s) for m, s in result["fig6b"].items()}
+    assert mean_acc["FFN"] >= 0.3

@@ -1,0 +1,50 @@
+"""Figure 7 — build-time / query-time Pareto fronts of the build methods.
+
+Per base index (ZM, ML, RSMI, LISA) and method, sweeps the method's
+parameter (rho, C, eps, beta, eta) and reports build seconds vs point-query
+microseconds.
+
+Paper shapes to hold: SP/MR own the fast-build end; RS/RL reach the
+fast-query end at far lower build cost than CL; RSP never beats SP; OG has
+the largest build time.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig07_pareto
+from repro.bench.harness import format_table
+
+
+def test_fig07_pareto(ctx, benchmark):
+    rows = benchmark.pedantic(fig07_pareto, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    table = [
+        [r["index"], r["method"], r["param"], f"{r['build_seconds']:.3f}", f"{r['query_us']:.1f}"]
+        for r in rows
+    ]
+    print(format_table(
+        ["index", "method", "param", "build (s)", "point query (us)"],
+        table,
+        title="Figure 7: build vs query Pareto (OSM1)",
+    ))
+
+    by = lambda index, method: [  # noqa: E731
+        r for r in rows if r["index"] == index and r["method"] == method
+    ]
+    for index_name in ("ZM", "ML", "RSMI"):
+        og = by(index_name, "OG")[0]
+        sp_fast = min(by(index_name, "SP"), key=lambda r: r["build_seconds"])
+        mr_fast = min(by(index_name, "MR"), key=lambda r: r["build_seconds"])
+        # ELSI methods build much faster than OG.
+        assert sp_fast["build_seconds"] < og["build_seconds"]
+        assert mr_fast["build_seconds"] < og["build_seconds"]
+        # CL's clustering is the costliest reduction (Table I analysis).
+        cl_slow = max(by(index_name, "CL"), key=lambda r: r["build_seconds"])
+        assert cl_slow["build_seconds"] > sp_fast["build_seconds"]
+
+    # Query times of reduced-set methods stay within 2x of OG on average.
+    for index_name in ("ZM", "ML", "RSMI", "LISA"):
+        og_q = by(index_name, "OG")[0]["query_us"]
+        reduced = [r["query_us"] for r in rows if r["index"] == index_name and r["method"] != "OG"]
+        assert np.median(reduced) < 2.0 * og_q + 5.0

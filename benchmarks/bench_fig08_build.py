@@ -1,0 +1,45 @@
+"""Figure 8 — index build time vs data distribution.
+
+Builds all four traditional indices, the three reported learned indices
+without ELSI (ML, LISA, RSMI), and with ELSI (ML-F, LISA-F, RSMI-F) on all
+six data sets.
+
+Paper shapes to hold: traditional indices build faster than learned-OG;
+ELSI brings the learned indices down to (or below) traditional levels —
+the headline 1-2 orders of magnitude reduction; Grid suffers on NYC.
+"""
+
+from repro.bench.experiments import fig08_build_times
+from repro.bench.harness import format_table
+
+
+def test_fig08_build_times(ctx, benchmark):
+    result = benchmark.pedantic(fig08_build_times, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    index_names = list(next(iter(result.values())))
+    rows = [
+        [name] + [f"{result[name][i]:.3f}" for i in index_names]
+        for name in result
+    ]
+    print(format_table(["data set"] + index_names, rows,
+                       title="Figure 8: build time (s) vs data distribution"))
+
+    speedups = []
+    for name, row in result.items():
+        for learned in ("ML", "LISA", "RSMI"):
+            assert row[f"{learned}-F"] < row[learned], (
+                f"{learned}-F should build faster than {learned} on {name}"
+            )
+            speedups.append(row[learned] / max(row[f"{learned}-F"], 1e-9))
+    mean_speedup = sum(speedups) / len(speedups)
+    print(f"\nmean ELSI build speedup: {mean_speedup:.1f}x "
+          f"(paper: ~70x at n=1e8; scale-dependent)")
+    assert mean_speedup > 3.0
+
+    # ELSI-built indices land at the traditional indices' level.
+    for name, row in result.items():
+        fastest_traditional = min(row["Grid"], row["KDB"], row["HRR"], row["RR*"])
+        slowest_traditional = max(row["Grid"], row["KDB"], row["HRR"], row["RR*"])
+        for learned in ("ML-F", "LISA-F", "RSMI-F"):
+            assert row[learned] < 10 * slowest_traditional, (name, learned)

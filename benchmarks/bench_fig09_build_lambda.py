@@ -1,0 +1,48 @@
+"""Figure 9 — build time vs lambda.
+
+The -F indices' build times as lambda sweeps 0 -> 1 on Skewed and OSM1,
+with RR* and RSMI (no ELSI) reference lines.
+
+Paper shapes to hold: build times fall (weakly) as lambda grows; MR
+dominates the choices at lambda >= 0.8; query-optimised methods (RS, RL,
+OG) appear at small lambda; -F builds stay far below RSMI-OG.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig09_build_vs_lambda
+from repro.bench.harness import format_table
+
+
+def test_fig09_build_vs_lambda(ctx, benchmark):
+    result = benchmark.pedantic(
+        fig09_build_vs_lambda, args=(ctx,), rounds=1, iterations=1
+    )
+
+    print()
+    for name, data in result.items():
+        lams = [lam for lam, _ in data["series"]["ML-F"]]
+        rows = [
+            [label] + [f"{seconds:.3f}" for _l, seconds in series]
+            for label, series in data["series"].items()
+        ]
+        rows.append(["RR* (ref)"] + [f"{data['RR*']:.3f}"] * len(lams))
+        rows.append(["RSMI (ref)"] + [f"{data['RSMI']:.3f}"] * len(lams))
+        print(format_table(
+            ["index"] + [f"lam={l}" for l in lams], rows,
+            title=f"Figure 9: build time (s) vs lambda on {name}",
+        ))
+        print(f"methods chosen per lambda: "
+              f"{ {l: m for l, m in data['methods_chosen'].items()} }")
+
+    for name, data in result.items():
+        for label, series in data["series"].items():
+            seconds = [s for _l, s in series]
+            # Large-lambda builds are no slower than small-lambda builds.
+            assert np.mean(seconds[-2:]) <= np.mean(seconds[:2]) * 1.5, (name, label)
+            # Large-lambda builds beat the *same index's* OG build.
+            og = data["OG"][label.removesuffix("-F")]
+            assert seconds[-1] < og, (name, label, seconds[-1], og)
+        # MR is chosen at lambda >= 0.8 (the paper's observation).
+        chosen_at_high = data["methods_chosen"][1.0]
+        assert chosen_at_high.get("MR", 0) >= 1, (name, chosen_at_high)

@@ -1,0 +1,35 @@
+"""Figure 10 — point query time vs data distribution.
+
+Average point-query latency over distribution-following lookups for the
+four traditional and six learned (with/without ELSI) configurations.
+
+Paper shapes to hold: ELSI leaves point query times essentially unchanged
+(-F within a small factor of the no-ELSI index, ~14% worst case in the
+paper); learned indices are competitive with the traditional ones.
+"""
+
+from repro.bench.experiments import fig10_point_query
+from repro.bench.harness import format_table
+
+
+def test_fig10_point_query(ctx, benchmark):
+    result = benchmark.pedantic(fig10_point_query, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    index_names = list(next(iter(result.values())))
+    rows = [
+        [name] + [f"{result[name][i]:.1f}" for i in index_names]
+        for name in result
+    ]
+    print(format_table(["data set"] + index_names, rows,
+                       title="Figure 10: point query time (us) vs data distribution"))
+
+    ratios = []
+    for name, row in result.items():
+        for learned in ("ML", "LISA", "RSMI"):
+            ratios.append(row[f"{learned}-F"] / max(row[learned], 1e-9))
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"\nmean -F / no-ELSI point query ratio: {mean_ratio:.2f} "
+          f"(paper: ~1.0, worst +14%)")
+    # On average ELSI does not increase point query times materially.
+    assert mean_ratio < 2.0

@@ -1,0 +1,37 @@
+"""Figure 11 — point query time vs lambda (OSM1, TPC-H).
+
+Paper shapes to hold: point query times of the -F indices grow only slowly
+with lambda (the maximum increase in the paper is ~19% from lambda=0 to 1);
+they stay comparable to the RSMI and RR* references.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig11_point_vs_lambda
+from repro.bench.harness import format_table
+
+
+def test_fig11_point_vs_lambda(ctx, benchmark):
+    result = benchmark.pedantic(
+        fig11_point_vs_lambda, args=(ctx,), rounds=1, iterations=1
+    )
+
+    print()
+    for name, data in result.items():
+        lams = [lam for lam, _ in data["series"]["ML-F"]]
+        rows = [
+            [label] + [f"{us:.1f}" for _l, us in series]
+            for label, series in data["series"].items()
+        ]
+        rows.append(["RR* (ref)"] + [f"{data['RR*']:.1f}"] * len(lams))
+        rows.append(["RSMI (ref)"] + [f"{data['RSMI']:.1f}"] * len(lams))
+        print(format_table(
+            ["index"] + [f"lam={l}" for l in lams], rows,
+            title=f"Figure 11: point query time (us) vs lambda on {name}",
+        ))
+
+    for name, data in result.items():
+        for label, series in data["series"].items():
+            us = [v for _l, v in series]
+            # Slow growth: the lambda=1 end within ~2.5x of the lambda=0 end.
+            assert max(us) < 2.5 * min(us) + 10, (name, label, us)

@@ -1,0 +1,45 @@
+"""Figure 12 — window query time and recall vs data distribution.
+
+0.01%-of-space windows following the data distribution (1 000 in the paper,
+scaled here).
+
+Paper shapes to hold: -F window times within a small factor of the no-ELSI
+indices (worst 1.35x in the paper, sometimes faster); ML recall stays 1.0
+(exact by design); RSMI-F / LISA-F recall stays above ~0.9.
+"""
+
+from repro.bench.experiments import fig12_window
+from repro.bench.harness import format_table
+
+
+def test_fig12_window(ctx, benchmark):
+    result = benchmark.pedantic(fig12_window, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    times = result["query_us"]
+    recalls = result["recall"]
+    index_names = list(next(iter(times.values())))
+    rows = [
+        [name] + [f"{times[name][i]:.0f}" for i in index_names] for name in times
+    ]
+    print(format_table(["data set"] + index_names, rows,
+                       title="Figure 12(a): window query time (us)"))
+    recall_names = list(next(iter(recalls.values())))
+    rows = [
+        [name] + [f"{recalls[name][i]:.3f}" for i in recall_names]
+        for name in recalls
+    ]
+    print(format_table(["data set"] + recall_names, rows,
+                       title="Figure 12(b): window recall"))
+
+    for name in times:
+        # ML answers exactly, with or without ELSI.
+        assert recalls[name]["ML"] == 1.0
+        assert recalls[name]["ML-F"] == 1.0
+        # RSMI-F / LISA-F recall stays high (paper: >= 0.91 / 0.92).
+        assert recalls[name]["RSMI-F"] > 0.85, name
+        assert recalls[name]["LISA-F"] > 0.85, name
+        # -F window times within a moderate factor of no-ELSI.
+        for learned in ("ML", "LISA", "RSMI"):
+            ratio = times[name][f"{learned}-F"] / max(times[name][learned], 1e-9)
+            assert ratio < 4.0, (name, learned, ratio)

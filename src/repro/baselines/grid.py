@@ -1,0 +1,163 @@
+"""Grid: a two-level regular grid file (Nievergelt et al., TODS 1984).
+
+Per Section VII-A the grid has ``sqrt(n/B) x sqrt(n/B)`` cells so each cell
+holds ``B`` points on average.  Following the paper's implementation note
+(Section VII-F), every cell keeps an array of data blocks *with per-block
+MBRs*: insertion-order blocks are split to keep MBRs small, which is what
+makes the Grid build expensive on heavily skewed data (NYC in Figure 8) —
+dense cells overflow repeatedly and their blocks are re-split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BestFirstKNN, TraditionalIndex
+from repro.spatial.rect import Rect
+
+__all__ = ["GridIndex"]
+
+
+@dataclass
+class _Block:
+    """A data block within a cell: points plus their MBR."""
+
+    points: list[np.ndarray] = field(default_factory=list)
+    mbr: Rect | None = None
+
+    def add(self, point: np.ndarray) -> None:
+        self.points.append(point)
+        box = Rect.from_arrays(point, point)
+        self.mbr = box if self.mbr is None else self.mbr.union(box)
+
+    def as_array(self) -> np.ndarray:
+        return np.vstack(self.points)
+
+
+class GridIndex(TraditionalIndex):
+    """The Grid competitor index."""
+
+    name = "Grid"
+
+    def __init__(self, block_size: int = 100) -> None:
+        super().__init__(block_size)
+        self.cells_per_axis = 1
+        self._cells: dict[tuple[int, int], list[_Block]] = {}
+        #: Block splits performed during construction; skewed data forces
+        #: repeated splits in dense cells (the Figure 8 NYC effect).
+        self.splits = 0
+
+    # ------------------------------------------------------------------
+    def build(self, points: np.ndarray) -> "GridIndex":
+        pts = self._prepare_points(points)
+        started = time.perf_counter()
+        self.bounds = Rect.bounding(pts)
+        self.n_points = len(pts)
+        self.cells_per_axis = max(1, int(np.sqrt(len(pts) / self.block_size)))
+        self._cells = {}
+        for p in pts:
+            self._insert_point(p)
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    def _cell_of(self, point: np.ndarray) -> tuple[int, int]:
+        assert self.bounds is not None
+        extent = self.bounds.extents
+        extent[extent == 0.0] = 1.0
+        frac = (point[:2] - self.bounds.lo_array[:2]) / extent[:2]
+        idx = np.clip(
+            (frac * self.cells_per_axis).astype(int), 0, self.cells_per_axis - 1
+        )
+        return int(idx[0]), int(idx[1])
+
+    def _insert_point(self, point: np.ndarray) -> None:
+        """Insert into the point's cell, splitting full blocks to keep MBRs tight.
+
+        A full block splits at the median of its widest MBR axis — this
+        repeated re-splitting under skew is Grid's build-cost weakness.
+        """
+        cell = self._cell_of(point)
+        blocks = self._cells.setdefault(cell, [_Block()])
+        # Choose the block whose MBR grows least (first fit on empty).
+        best = None
+        best_growth = np.inf
+        for block in blocks:
+            if len(block.points) >= self.block_size:
+                continue
+            if block.mbr is None:
+                best, best_growth = block, 0.0
+                break
+            growth = block.mbr.enlargement(Rect.from_arrays(point, point))
+            if growth < best_growth:
+                best, best_growth = block, growth
+        if best is None:
+            best = self._split_fullest(blocks)
+        best.add(point)
+
+    def _split_fullest(self, blocks: list[_Block]) -> _Block:
+        """Split the fullest block at the median of its widest axis."""
+        self.splits += 1
+        victim = max(blocks, key=lambda b: len(b.points))
+        pts = victim.as_array()
+        axis = int(np.argmax(victim.mbr.extents)) if victim.mbr else 0
+        median = float(np.median(pts[:, axis]))
+        left, right = _Block(), _Block()
+        for p in victim.points:
+            (left if p[axis] <= median else right).add(p)
+        if not left.points or not right.points:
+            # Degenerate (duplicate coordinates): split by halves instead.
+            left, right = _Block(), _Block()
+            half = len(victim.points) // 2
+            for p in victim.points[:half]:
+                left.add(p)
+            for p in victim.points[half:]:
+                right.add(p)
+        blocks.remove(victim)
+        blocks.extend([left, right])
+        return left if len(left.points) <= len(right.points) else right
+
+    # ------------------------------------------------------------------
+    def point_query(self, point: np.ndarray) -> bool:
+        self._check_built()
+        q = np.asarray(point, dtype=np.float64)
+        for block in self._cells.get(self._cell_of(q), []):
+            if block.mbr is not None and block.mbr.contains_point(q):
+                if np.any(np.all(block.as_array() == q, axis=1)):
+                    return True
+        return False
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        self._check_built()
+        assert self.bounds is not None
+        lo_cell = self._cell_of(window.lo_array)
+        hi_cell = self._cell_of(window.hi_array)
+        results = []
+        for cx in range(lo_cell[0], hi_cell[0] + 1):
+            for cy in range(lo_cell[1], hi_cell[1] + 1):
+                for block in self._cells.get((cx, cy), []):
+                    if block.mbr is None or not block.mbr.intersects(window):
+                        continue
+                    pts = block.as_array()
+                    inside = pts[window.contains_points(pts)]
+                    if len(inside):
+                        results.append(inside)
+        if not results:
+            return np.empty((0, window.ndim))
+        return np.vstack(results)
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        """Exact kNN: best-first over cell blocks by MINDIST."""
+        self._check_built()
+        search = BestFirstKNN(point, k)
+        for blocks in self._cells.values():
+            for block in blocks:
+                if block.mbr is not None:
+                    search.push(block.mbr.min_distance_sq(point), block)
+        while True:
+            payload = search.pop()
+            if payload is None:
+                return search.results()
+            search.push_points(payload.as_array())

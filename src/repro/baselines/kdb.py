@@ -1,0 +1,156 @@
+"""KDB: a kd-tree with block-storage leaves (Robinson, SIGMOD 1981).
+
+Bulk-built by recursive median splits on alternating axes until partitions
+fit a block of ``B`` points.  Region pruning makes point, window and kNN
+queries exact, with the classic log-depth descent the paper contrasts with
+learned constant-time prediction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import BestFirstKNN, TraditionalIndex
+from repro.spatial.rect import Rect
+
+__all__ = ["KDBIndex"]
+
+
+@dataclass
+class _Node:
+    """A region node; leaves carry points, internal nodes a split."""
+
+    region: Rect
+    points: np.ndarray | None = None
+    axis: int = 0
+    split: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.points is not None
+
+
+class KDBIndex(TraditionalIndex):
+    """The KDB competitor index."""
+
+    name = "KDB"
+
+    def __init__(self, block_size: int = 100) -> None:
+        super().__init__(block_size)
+        self.root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    def build(self, points: np.ndarray) -> "KDBIndex":
+        pts = self._prepare_points(points)
+        started = time.perf_counter()
+        self.bounds = Rect.bounding(pts)
+        self.n_points = len(pts)
+        self.root = self._build_node(pts, self.bounds, depth=0)
+        self.build_seconds = time.perf_counter() - started
+        return self
+
+    def _build_node(self, points: np.ndarray, region: Rect, depth: int) -> _Node:
+        if len(points) <= self.block_size or depth >= 48:
+            return _Node(region=region, points=points, depth=depth)
+        axis = depth % points.shape[1]
+        split = float(np.median(points[:, axis]))
+        mask = points[:, axis] <= split
+        if mask.all() or not mask.any():
+            # All coordinates equal on this axis: try the other axes before
+            # giving up and storing an oversized leaf.
+            for alt in range(points.shape[1]):
+                split = float(np.median(points[:, alt]))
+                mask = points[:, alt] <= split
+                if not mask.all() and mask.any():
+                    axis = alt
+                    break
+            else:
+                return _Node(region=region, points=points, depth=depth)
+        lo = region.lo_array
+        hi = region.hi_array
+        left_hi = hi.copy()
+        left_hi[axis] = split
+        right_lo = lo.copy()
+        right_lo[axis] = split
+        node = _Node(region=region, axis=axis, split=split, depth=depth)
+        node.left = self._build_node(
+            points[mask], Rect.from_arrays(lo, left_hi), depth + 1
+        )
+        node.right = self._build_node(
+            points[~mask], Rect.from_arrays(right_lo, hi), depth + 1
+        )
+        return node
+
+    # ------------------------------------------------------------------
+    def point_query(self, point: np.ndarray) -> bool:
+        self._check_built()
+        q = np.asarray(point, dtype=np.float64)
+        node = self.root
+        while node is not None and not node.is_leaf:
+            node = node.left if q[node.axis] <= node.split else node.right
+        if node is None or node.points is None or len(node.points) == 0:
+            return False
+        return bool(np.any(np.all(node.points == q, axis=1)))
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        self._check_built()
+        assert self.root is not None
+        results: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.region.intersects(window):
+                continue
+            if node.is_leaf:
+                assert node.points is not None
+                if len(node.points):
+                    inside = node.points[window.contains_points(node.points)]
+                    if len(inside):
+                        results.append(inside)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        if not results:
+            return np.empty((0, window.ndim))
+        return np.vstack(results)
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        self._check_built()
+        assert self.root is not None
+        search = BestFirstKNN(point, k)
+        search.push(self.root.region.min_distance_sq(point), self.root)
+        while True:
+            payload = search.pop()
+            if payload is None:
+                return search.results()
+            node: _Node = payload
+            if node.is_leaf:
+                assert node.points is not None
+                if len(node.points):
+                    search.push_points(node.points)
+            else:
+                for child in (node.left, node.right):
+                    if child is not None:
+                        search.push(child.region.min_distance_sq(point), child)
+
+    def depth(self) -> int:
+        """Maximum leaf depth."""
+        self._check_built()
+        assert self.root is not None
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend(c for c in (node.left, node.right) if c is not None)
+        return best

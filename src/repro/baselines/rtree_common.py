@@ -1,0 +1,105 @@
+"""Shared R-tree machinery for the HRR and RR* competitors.
+
+Both indices store points in leaf nodes with MBRs and answer queries by MBR
+pruning; they differ only in construction (Hilbert bulk-loading vs. R*-style
+insertion).  This module holds the node structure and the exact query
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BestFirstKNN
+from repro.spatial.rect import Rect
+
+__all__ = ["RTreeNode", "rtree_knn", "rtree_point_query", "rtree_window_query"]
+
+
+@dataclass
+class RTreeNode:
+    """An R-tree node: leaves hold points, internal nodes hold children."""
+
+    mbr: Rect
+    children: list["RTreeNode"] = field(default_factory=list)
+    points: np.ndarray | None = None
+    level: int = 0  # 0 = leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def recompute_mbr(self) -> None:
+        """Tighten the MBR to the current contents."""
+        if self.is_leaf:
+            assert self.points is not None and len(self.points) > 0
+            self.mbr = Rect.bounding(self.points)
+        else:
+            assert self.children
+            mbr = self.children[0].mbr
+            for child in self.children[1:]:
+                mbr = mbr.union(child.mbr)
+            self.mbr = mbr
+
+    def count_points(self) -> int:
+        if self.is_leaf:
+            return 0 if self.points is None else len(self.points)
+        return sum(c.count_points() for c in self.children)
+
+
+def rtree_point_query(root: RTreeNode, point: np.ndarray) -> bool:
+    """Exact membership test with MBR pruning."""
+    q = np.asarray(point, dtype=np.float64)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node.mbr.contains_point(q):
+            continue
+        if node.is_leaf:
+            assert node.points is not None
+            if len(node.points) and np.any(np.all(node.points == q, axis=1)):
+                return True
+        else:
+            stack.extend(node.children)
+    return False
+
+
+def rtree_window_query(root: RTreeNode, window: Rect) -> np.ndarray:
+    """Exact window query with MBR pruning."""
+    results: list[np.ndarray] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node.mbr.intersects(window):
+            continue
+        if node.is_leaf:
+            assert node.points is not None
+            if len(node.points):
+                inside = node.points[window.contains_points(node.points)]
+                if len(inside):
+                    results.append(inside)
+        else:
+            stack.extend(node.children)
+    if not results:
+        return np.empty((0, window.ndim))
+    return np.vstack(results)
+
+
+def rtree_knn(root: RTreeNode, point: np.ndarray, k: int) -> np.ndarray:
+    """Exact best-first kNN over node MINDIST bounds."""
+    search = BestFirstKNN(point, k)
+    search.push(root.mbr.min_distance_sq(point), root)
+    while True:
+        payload = search.pop()
+        if payload is None:
+            return search.results()
+        node: RTreeNode = payload
+        if node.is_leaf:
+            assert node.points is not None
+            if len(node.points):
+                search.push_points(node.points)
+        else:
+            for child in node.children:
+                search.push(child.mbr.min_distance_sq(point), child)

@@ -1,0 +1,10 @@
+"""Benchmark harness: one driver per table/figure of Section VII.
+
+- :mod:`repro.bench.harness` — scale presets, timing, table formatting,
+- :mod:`repro.bench.experiments` — the experiment drivers (Fig. 6 – Fig. 16,
+  Tables I and II), shared by ``benchmarks/`` and ``examples/``.
+"""
+
+from repro.bench.harness import ExperimentScale, format_table, time_call
+
+__all__ = ["ExperimentScale", "format_table", "time_call"]

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the six evaluation data sets with distribution statistics.
+``build``
+    Build an index on a data set and report the Section VI cost breakdown.
+``query``
+    Build then run a point/window/kNN workload, reporting latencies.
+``experiments``
+    List the per-table/figure experiment drivers and how to run them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import GridIndex, HRRIndex, KDBIndex, RStarIndex
+from repro.bench.harness import format_table
+from repro.core import ELSIConfig, ELSIModelBuilder
+from repro.data import DATASETS, load_dataset
+from repro.indices import FloodIndex, LISAIndex, MLIndex, RSMIIndex, ZMIndex
+from repro.queries.workload import knn_workload, point_workload, window_workload
+from repro.spatial.cdf import uniform_dissimilarity
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import zvalues
+
+__all__ = ["main"]
+
+_LEARNED = {
+    "ZM": ZMIndex,
+    "ML": MLIndex,
+    "RSMI": RSMIIndex,
+    "LISA": LISAIndex,
+    "Flood": FloodIndex,
+}
+_TRADITIONAL = {
+    "Grid": GridIndex,
+    "KDB": KDBIndex,
+    "HRR": HRRIndex,
+    "RR*": RStarIndex,
+}
+_METHODS = ("SP", "RSP", "CL", "MR", "RS", "RL", "OG")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASETS:
+        points = load_dataset(name, args.n, seed=args.seed)
+        keys = np.sort(zvalues(points, Rect.bounding(points)).astype(np.float64))
+        rows.append(
+            [
+                name,
+                len(points),
+                f"{uniform_dissimilarity(keys, assume_sorted=True):.3f}",
+                f"{points[:, 0].mean():.3f}",
+                f"{points[:, 1].mean():.3f}",
+            ]
+        )
+    print(format_table(
+        ["data set", "n", "dist(D_U, D)", "mean x", "mean y"],
+        rows,
+        title=f"Evaluation data sets at n={args.n} (paper: 1e8+)",
+    ))
+    return 0
+
+
+def _make_index(args: argparse.Namespace):
+    config = ELSIConfig(lam=args.lam, train_epochs=args.epochs, seed=args.seed)
+    if args.index in _TRADITIONAL:
+        return _TRADITIONAL[args.index]()
+    builder = ELSIModelBuilder(config, method=args.method)
+    return _LEARNED[args.index](builder=builder)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    points = load_dataset(args.dataset, args.n, seed=args.seed)
+    index = _make_index(args)
+    started = time.perf_counter()
+    index.build(points)
+    total = time.perf_counter() - started
+    print(f"built {args.index} on {args.dataset} (n={args.n}) in {total:.2f}s")
+    stats = getattr(index, "build_stats", None)
+    if stats is not None:
+        print(format_table(
+            ["component", "seconds"],
+            [
+                ["data preparation (cost_dp)", f"{stats.prepare_seconds:.3f}"],
+                ["model training (T)", f"{stats.train_seconds:.3f}"],
+                ["method extra (cost_ex)", f"{stats.extra_seconds:.3f}"],
+                ["error bounds (M(n))", f"{stats.error_bound_seconds:.3f}"],
+            ],
+            title="Section VI cost decomposition",
+        ))
+        print(f"models: {stats.n_models}, training pairs: {stats.train_set_size}, "
+              f"methods: {stats.methods_used}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    points = load_dataset(args.dataset, args.n, seed=args.seed)
+    index = _make_index(args)
+    index.build(points)
+
+    rows = []
+    queries = point_workload(points, args.queries, seed=args.seed)
+    started = time.perf_counter()
+    hits = sum(q.run(index) for q in queries)
+    rows.append(["point", len(queries), f"{(time.perf_counter()-started)/len(queries)*1e6:.1f}",
+                 f"{hits}/{len(queries)} found"])
+
+    windows = window_workload(points, max(args.queries // 5, 5), 1e-3, seed=args.seed)
+    started = time.perf_counter()
+    counts = [len(q.run(index)) for q in windows]
+    rows.append(["window (0.1%)", len(windows),
+                 f"{(time.perf_counter()-started)/len(windows)*1e6:.1f}",
+                 f"avg {np.mean(counts):.1f} results"])
+
+    knns = knn_workload(points, max(args.queries // 10, 3), k=25, seed=args.seed)
+    started = time.perf_counter()
+    for q in knns:
+        q.run(index)
+    rows.append(["kNN (k=25)", len(knns),
+                 f"{(time.perf_counter()-started)/len(knns)*1e6:.1f}", ""])
+
+    print(format_table(
+        ["query type", "count", "us/query", "notes"],
+        rows,
+        title=f"{args.index} on {args.dataset} (n={args.n})",
+    ))
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    rows = [
+        ["Fig. 6", "selector accuracy vs lambda", "benchmarks/bench_fig06_selector.py"],
+        ["Fig. 7", "method Pareto fronts", "benchmarks/bench_fig07_pareto.py"],
+        ["Table I", "cost decomposition", "benchmarks/bench_table1_costs.py"],
+        ["Table II", "ELSI vs Rand ablation", "benchmarks/bench_table2_ablation.py"],
+        ["Fig. 8", "build time vs distribution", "benchmarks/bench_fig08_build.py"],
+        ["Fig. 9", "build time vs lambda", "benchmarks/bench_fig09_build_lambda.py"],
+        ["Fig. 10", "point query vs distribution", "benchmarks/bench_fig10_point.py"],
+        ["Fig. 11", "point query vs lambda", "benchmarks/bench_fig11_point_lambda.py"],
+        ["Fig. 12", "window query + recall", "benchmarks/bench_fig12_window.py"],
+        ["Fig. 13", "window sweeps", "benchmarks/bench_fig13_window_sweeps.py"],
+        ["Fig. 14", "kNN + recall", "benchmarks/bench_fig14_knn.py"],
+        ["Fig. 15", "insertions", "benchmarks/bench_fig15_updates.py"],
+        ["Fig. 16", "windows after insertions", "benchmarks/bench_fig16_window_updates.py"],
+        ["(extra)", "KS / RMI ablations", "benchmarks/bench_ablation_*.py"],
+        ["(extra)", "Flood + PGM extensions", "benchmarks/bench_ext_flood_pgm.py"],
+    ]
+    print(format_table(["artefact", "content", "benchmark"], rows,
+                       title="Paper experiments (run: pytest <file> --benchmark-only -s)"))
+    print("\nScale with REPRO_SCALE=smoke|default|large (see repro.bench.harness).")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ELSI: Efficiently Learning Spatial Indices (ICDE 2023) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list evaluation data sets")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_datasets)
+
+    for name, fn in (("build", _cmd_build), ("query", _cmd_query)):
+        p = sub.add_parser(name, help=f"{name} an index on a data set")
+        p.add_argument("--index", choices=sorted({**_LEARNED, **_TRADITIONAL}), default="ZM")
+        p.add_argument("--dataset", choices=sorted(DATASETS), default="OSM1")
+        p.add_argument("--method", choices=_METHODS, default="RS",
+                       help="ELSI build method (learned indices only)")
+        p.add_argument("--n", type=int, default=20_000)
+        p.add_argument("--lam", type=float, default=0.8)
+        p.add_argument("--epochs", type=int, default=300)
+        p.add_argument("--queries", type=int, default=500)
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("experiments", help="list the paper's experiments")
+    p.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

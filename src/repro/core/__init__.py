@@ -1,0 +1,50 @@
+"""ELSI — the paper's primary contribution (Sections IV–VI).
+
+- :mod:`repro.core.config` — system parameters,
+- :mod:`repro.core.methods` — the six-method training-set pool (Section V),
+- :mod:`repro.core.build_processor` — Algorithm 1 as a pluggable builder,
+- :mod:`repro.core.scorer` — the two-FFN method scorer and Equation 2,
+- :mod:`repro.core.selector` — scorer training + the Fig. 6(b) baselines,
+- :mod:`repro.core.update_processor` — side-list updates + rebuild predictor,
+- :mod:`repro.core.costs` — the Section VI cost model,
+- :mod:`repro.core.elsi` — the system facade.
+"""
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.core.costs import CostModel
+from repro.core.elsi import ELSI
+from repro.core.scorer import MethodScorer, ScorerSample
+from repro.core.selector import (
+    DatasetRecord,
+    TreeSelector,
+    best_method,
+    collect_selector_data,
+    records_to_samples,
+    selector_accuracy,
+    train_ffn_selector,
+)
+from repro.core.update_processor import (
+    RebuildPredictor,
+    UpdateProcessor,
+    train_rebuild_predictor,
+)
+
+__all__ = [
+    "ELSI",
+    "ELSIConfig",
+    "ELSIModelBuilder",
+    "CostModel",
+    "DatasetRecord",
+    "MethodScorer",
+    "RebuildPredictor",
+    "ScorerSample",
+    "TreeSelector",
+    "UpdateProcessor",
+    "best_method",
+    "collect_selector_data",
+    "records_to_samples",
+    "selector_accuracy",
+    "train_ffn_selector",
+    "train_rebuild_predictor",
+]

@@ -1,0 +1,90 @@
+"""ELSI system configuration.
+
+Groups every parameter Section V and VII introduce.  The paper's defaults
+are tuned for 10^8-point data sets; the dataclass defaults here are the
+same *ratios* at this repo's default experiment scale (n ~ 2e4), and every
+benchmark documents the values it sweeps (Figure 7's parameter ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ELSIConfig"]
+
+
+@dataclass
+class ELSIConfig:
+    """Tunable parameters of the ELSI system.
+
+    Attributes
+    ----------
+    lam:
+        The λ of Equation 2 — weight of the *build* cost score.  λ→1
+        prioritises fast builds (MR wins), λ→0 prioritises fast queries
+        (RS/RL/OG win).  Default 0.8 per Section VII-G1.
+    w_q:
+        Query frequency weight of Equation 2 (1.0 per Section VII-B1).
+    rho:
+        SP sampling rate (paper default 1e-4 at n=1.28e8; the same training
+        set size at n=2e4 gives 1e-2).
+    n_clusters:
+        CL cluster count C (paper default 100).
+    epsilon:
+        MR CDF-cover threshold ε in (0, 1] (paper default 0.5).
+    beta:
+        RS partition capacity β: recursion stops when a cell has at most
+        β points, so the training set has roughly n/β points.
+    eta:
+        RL grid resolution per dimension (η^d cells; paper default 8).
+    rl_steps:
+        RL search step budget e.
+    rl_alpha:
+        RL DQN replay batch (the paper's α).
+    zeta:
+        RL toggle-acceptance probability ζ (0.8 per Section V-B2).
+    gamma:
+        RL discount factor (0.9 per Section V-B2).
+    f_u:
+        Updates between rebuild-predictor invocations (Section IV-B2).
+    train_epochs / hidden_size:
+        FFN training epochs and hidden width for index models (paper: 500
+        epochs, lr 0.01).
+    methods:
+        Method pool names to consider, in canonical order.
+    """
+
+    lam: float = 0.8
+    w_q: float = 1.0
+    rho: float = 0.01
+    n_clusters: int = 100
+    epsilon: float = 0.5
+    beta: int = 100
+    eta: int = 8
+    rl_steps: int = 300
+    rl_alpha: int = 64
+    zeta: float = 0.8
+    gamma: float = 0.9
+    f_u: int = 1000
+    train_epochs: int = 500
+    hidden_size: int = 16
+    seed: int = 0
+    methods: tuple[str, ...] = field(
+        default=("SP", "CL", "MR", "RS", "RL", "OG")
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError(f"lambda must lie in [0, 1], got {self.lam}")
+        if self.w_q < 1.0:
+            raise ValueError(f"w_q must be >= 1, got {self.w_q}")
+        if not 0.0 < self.rho <= 1.0:
+            raise ValueError(f"rho must lie in (0, 1], got {self.rho}")
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ValueError(f"epsilon must lie in (0, 1], got {self.epsilon}")
+        if self.n_clusters < 1 or self.beta < 1 or self.eta < 2:
+            raise ValueError("n_clusters, beta >= 1 and eta >= 2 required")
+        if self.f_u < 1:
+            raise ValueError(f"f_u must be >= 1, got {self.f_u}")
+        if not self.methods:
+            raise ValueError("the method pool cannot be empty")

@@ -1,0 +1,120 @@
+"""The Section VI cost model, in symbolic form.
+
+Expresses the build-cost decomposition of every method as big-O term
+strings plus concrete *operation-count* estimates, so Table I can print
+both the formulas and measured seconds side by side, and tests can check
+that measured component times scale the way the analysis says.
+
+Notation follows the paper: ``T(m)`` is the model-training cost on m
+points, ``M(m)`` the cost of m model invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ELSIConfig
+
+__all__ = ["CostModel", "MethodCost"]
+
+
+@dataclass(frozen=True)
+class MethodCost:
+    """A method's analytical build cost (Section VI-B / Table I)."""
+
+    method: str
+    training_formula: str
+    extra_formula: str
+    train_set_size: int
+    extra_operations: float
+
+
+class CostModel:
+    """Instantiate the Section VI formulas for concrete (n, d, parameters)."""
+
+    def __init__(self, n: int, d: int = 2, config: ELSIConfig | None = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if d < 2:
+            raise ValueError(f"d must be >= 2, got {d}")
+        self.n = n
+        self.d = d
+        self.config = config or ELSIConfig()
+
+    # ------------------------------------------------------------------
+    def data_preparation_operations(self) -> float:
+        """cost_dp = O(nd + n log n): mapping plus sorting."""
+        return self.n * self.d + self.n * max(np.log2(self.n), 1.0)
+
+    def train_set_size(self, method: str) -> int:
+        """|D_S| for each method at the configured parameters."""
+        cfg = self.config
+        sizes = {
+            "SP": max(2, int(cfg.rho * self.n)),
+            "RSP": max(2, int(cfg.rho * self.n)),
+            "CL": min(cfg.n_clusters, self.n),
+            "MR": 0,  # no online training at all
+            "RS": max(1, int(np.ceil(self.n / cfg.beta))),
+            "RL": cfg.eta**self.d,
+            "OG": self.n,
+        }
+        if method not in sizes:
+            raise ValueError(f"unknown method {method!r}")
+        return sizes[method]
+
+    def extra_operations(self, method: str, n_mr: int = 20, kmeans_iterations: int = 10) -> float:
+        """The method-specific cost_ex operation counts of Section VI-B."""
+        cfg = self.config
+        n, d = self.n, self.d
+        log_n = max(np.log2(n), 1.0)
+        if method in ("SP", "RSP"):
+            return cfg.rho * n
+        if method == "CL":
+            return cfg.n_clusters * n * d * kmeans_iterations
+        if method == "MR":
+            n_s = 256
+            return n_mr * n_s * log_n
+        if method == "RS":
+            depth = max(np.log(max(n / cfg.beta, 2.0)) / np.log(2**d), 1.0)
+            return n * depth
+        if method == "RL":
+            e = cfg.rl_steps
+            return e * (cfg.eta**d) * log_n + cfg.rl_alpha * e / 5.0
+        if method == "OG":
+            return 0.0
+        raise ValueError(f"unknown method {method!r}")
+
+    def method_cost(self, method: str) -> MethodCost:
+        """The Table I row for ``method``."""
+        formulas = {
+            "SP": ("T(rho*n) + M(n)", "O(rho*n)"),
+            "RSP": ("T(rho*n) + M(n)", "O(rho*n)"),
+            "CL": ("T(C) + M(n)", "O(C*n*d*i)"),
+            "MR": ("M(n)", "O(n_mr*n_S*log n)"),
+            "RS": ("T(n/beta) + M(n)", "O(n*log_{2^d}(n/beta))"),
+            "RL": ("T(eta^d) + M(n)", "M(e) + O(e*eta^d*log n) + T(alpha)"),
+            "OG": ("T(n) + M(n)", "0"),
+        }
+        if method not in formulas:
+            raise ValueError(f"unknown method {method!r}")
+        training, extra = formulas[method]
+        return MethodCost(
+            method=method,
+            training_formula=training,
+            extra_formula=extra,
+            train_set_size=self.train_set_size(method),
+            extra_operations=self.extra_operations(method),
+        )
+
+    # ------------------------------------------------------------------
+    def query_operations(self, err_l: int, err_u: int) -> float:
+        """cost_q = M(1) + O(err_l + err_u) — in scan units, M(1) as 1."""
+        if err_l < 0 or err_u < 0:
+            raise ValueError("error bounds must be non-negative")
+        return 1.0 + err_l + err_u
+
+    def update_operations(self, n_pending: int) -> float:
+        """Default update-procedure cost O(log n_u), Section VI-D."""
+        return max(np.log2(max(n_pending, 2)), 1.0)

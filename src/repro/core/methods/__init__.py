@@ -1,0 +1,38 @@
+"""ELSI's method pool (Section V): training-set construction strategies.
+
+Adapted from the literature:
+
+- :mod:`repro.core.methods.sampling` — SP (systematic) and RSP (random),
+- :mod:`repro.core.methods.clustering` — CL (k-means centroids),
+- :mod:`repro.core.methods.model_reuse` — MR (pre-trained model pool).
+
+Proposed by the paper:
+
+- :mod:`repro.core.methods.representative` — RS (Algorithm 2),
+- :mod:`repro.core.methods.rl` — RL (MDP + DQN search).
+
+Backup:
+
+- :mod:`repro.core.methods.original` — OG (train on the full data set).
+"""
+
+from repro.core.methods.base import BuildMethod, MethodResult, make_method_pool
+from repro.core.methods.clustering import ClusteringMethod
+from repro.core.methods.model_reuse import ModelReuseMethod
+from repro.core.methods.original import OriginalMethod
+from repro.core.methods.representative import RepresentativeSetMethod
+from repro.core.methods.rl import ReinforcementLearningMethod
+from repro.core.methods.sampling import RandomSamplingMethod, SystematicSamplingMethod
+
+__all__ = [
+    "BuildMethod",
+    "ClusteringMethod",
+    "MethodResult",
+    "ModelReuseMethod",
+    "OriginalMethod",
+    "RandomSamplingMethod",
+    "ReinforcementLearningMethod",
+    "RepresentativeSetMethod",
+    "SystematicSamplingMethod",
+    "make_method_pool",
+]

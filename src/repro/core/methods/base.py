@@ -1,0 +1,132 @@
+"""The build-method interface: turn sorted data into a reduced training set.
+
+A :class:`BuildMethod` implements ``compute_set`` of Algorithm 1 (line 4):
+given the key-sorted partition, produce training pairs ``(keys, ranks)``
+with ``ranks`` in [0, 1].  Methods that select *existing* points (SP, RSP,
+RS) return the selected points' true ranks in ``D``; methods that
+*synthesise* points (CL, MR, RL) return ranks within ``D_S`` — the premise
+being that a distribution-preserving ``D_S`` has approximately the same
+CDF as ``D`` (Definition 1).
+
+``requires_map_fn`` encodes applicability: CL and RL need the base index's
+``map()`` for arbitrary coordinates, which an index with a data-derived
+mapping (LISA) cannot provide — matching the paper's restriction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.indices.base import MapFn
+
+__all__ = ["BuildMethod", "MethodResult", "make_method_pool"]
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """A reduced training set plus the method's extra cost.
+
+    ``train_keys`` are sorted ascending; ``train_ranks`` are the matching
+    regression targets in [0, 1]; ``extra_seconds`` is the method-specific
+    ``cost_ex`` term of Section VI-B.
+
+    MR sets ``pretrained_state``: a ready FFN state dict (trained on
+    min-max-normalised keys, so it transfers to any key range).  The build
+    processor then skips online training entirely.
+    """
+
+    train_keys: np.ndarray
+    train_ranks: np.ndarray
+    extra_seconds: float
+    pretrained_state: dict | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.train_keys) != len(self.train_ranks):
+            raise ValueError(
+                f"{len(self.train_keys)} keys vs {len(self.train_ranks)} ranks"
+            )
+        if len(self.train_keys) == 0:
+            raise ValueError("a training set cannot be empty")
+
+
+class BuildMethod(ABC):
+    """One entry of the ELSI method pool."""
+
+    #: Canonical short name used across the paper's tables and figures.
+    name: str = "?"
+    #: Whether the method synthesises points and therefore needs map().
+    requires_map_fn: bool = False
+
+    def applicable(self, map_fn: MapFn | None) -> bool:
+        """Whether this method can run for the given partition."""
+        return map_fn is not None or not self.requires_map_fn
+
+    @abstractmethod
+    def compute_set(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None,
+    ) -> MethodResult:
+        """Construct the reduced training set ``D_S`` for this partition."""
+
+    @staticmethod
+    def _true_ranks(indices: np.ndarray, n: int) -> np.ndarray:
+        """Normalised ranks in ``D`` for selected sorted positions."""
+        return np.asarray(indices, dtype=np.float64) / max(n - 1, 1)
+
+    @staticmethod
+    def _self_ranks(n_s: int) -> np.ndarray:
+        """Normalised ranks within ``D_S`` (synthetic-point methods)."""
+        return np.arange(n_s, dtype=np.float64) / max(n_s - 1, 1)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def make_method_pool(config) -> "list[BuildMethod]":
+    """Instantiate the configured method pool in canonical order.
+
+    Accepts an :class:`repro.core.config.ELSIConfig`; imported lazily to
+    avoid a circular import between the config and method modules.
+    """
+    from repro.core.methods.clustering import ClusteringMethod
+    from repro.core.methods.model_reuse import ModelReuseMethod
+    from repro.core.methods.original import OriginalMethod
+    from repro.core.methods.representative import RepresentativeSetMethod
+    from repro.core.methods.rl import ReinforcementLearningMethod
+    from repro.core.methods.sampling import (
+        RandomSamplingMethod,
+        SystematicSamplingMethod,
+    )
+
+    factories = {
+        "SP": lambda: SystematicSamplingMethod(rho=config.rho),
+        "RSP": lambda: RandomSamplingMethod(rho=config.rho, seed=config.seed),
+        "CL": lambda: ClusteringMethod(n_clusters=config.n_clusters, seed=config.seed),
+        "MR": lambda: ModelReuseMethod(
+            epsilon=config.epsilon,
+            hidden_size=config.hidden_size,
+            train_epochs=config.train_epochs,
+            seed=config.seed,
+        ),
+        "RS": lambda: RepresentativeSetMethod(beta=config.beta),
+        "RL": lambda: ReinforcementLearningMethod(
+            eta=config.eta,
+            steps=config.rl_steps,
+            alpha=config.rl_alpha,
+            zeta=config.zeta,
+            gamma=config.gamma,
+            seed=config.seed,
+        ),
+        "OG": lambda: OriginalMethod(),
+    }
+    pool: list[BuildMethod] = []
+    for name in config.methods:
+        if name not in factories:
+            raise ValueError(f"unknown build method {name!r}; known: {sorted(factories)}")
+        pool.append(factories[name]())
+    return pool

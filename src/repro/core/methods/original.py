@@ -1,0 +1,32 @@
+"""OG: the backup method — train on the full data set (no reduction).
+
+This is what a base index does without ELSI.  It sits in the method pool so
+the method selector can fall back to it when query time is the overriding
+priority (small λ) and so every experiment has the no-ELSI reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.methods.base import BuildMethod, MethodResult
+from repro.indices.base import MapFn
+
+__all__ = ["OriginalMethod"]
+
+
+class OriginalMethod(BuildMethod):
+    """OG: the identity training set."""
+
+    name = "OG"
+    requires_map_fn = False
+
+    def compute_set(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None,
+    ) -> MethodResult:
+        n = len(sorted_keys)
+        ranks = np.arange(n, dtype=np.float64) / max(n - 1, 1)
+        return MethodResult(sorted_keys, ranks, extra_seconds=0.0)

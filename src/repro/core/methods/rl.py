@@ -1,0 +1,134 @@
+"""RL: reinforcement-learning training-set search (Section V-B2).
+
+The method overlays an ``eta^d`` grid on the partition's original space and
+searches for the subset of cell-centre points whose key CDF best
+approximates ``D``'s.  The search is the paper's MDP:
+
+- *state*: a binary occupancy vector over the grid cells, ordered by the
+  cells' ranks in the base index's mapped space; the initial state is all
+  ones (a uniform ``D_S``),
+- *action*: toggle one cell (add/remove its point), applied with
+  probability ζ = 0.8,
+- *reward*: the reduction in ``dist(D_S, D)`` (Definition 2),
+- *discount*: γ = 0.9; the DQN trains every five steps on recent
+  transitions (``alpha`` records).
+
+The best state seen is returned when the distance stops improving or the
+step budget ``e`` runs out.  Cell centres are synthetic points, so RL needs
+the base index's ``map()`` (inapplicable to LISA, per the paper).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.methods.base import BuildMethod, MethodResult
+from repro.core.methods.model_reuse import MethodFailure
+from repro.indices.base import MapFn
+from repro.ml.dqn import DQNAgent, DQNConfig, Transition
+from repro.spatial.cdf import ks_distance
+
+__all__ = ["ReinforcementLearningMethod"]
+
+
+class ReinforcementLearningMethod(BuildMethod):
+    """RL: DQN-guided search for a grid-cell training set."""
+
+    name = "RL"
+    requires_map_fn = True
+
+    def __init__(
+        self,
+        eta: int = 8,
+        steps: int = 300,
+        alpha: int = 64,
+        zeta: float = 0.8,
+        gamma: float = 0.9,
+        patience: int = 60,
+        seed: int = 0,
+    ) -> None:
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if not 0.0 < zeta <= 1.0:
+            raise ValueError(f"zeta must lie in (0, 1], got {zeta}")
+        self.eta = eta
+        self.steps = steps
+        self.alpha = alpha
+        self.zeta = zeta
+        self.gamma = gamma
+        self.patience = patience
+        self.seed = seed
+
+    def _cell_centers(self, sorted_points: np.ndarray) -> np.ndarray:
+        """Centres of the eta^d grid over the partition's bounding box."""
+        d = sorted_points.shape[1]
+        lo = sorted_points.min(axis=0)
+        hi = sorted_points.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        axes = [lo[dim] + span[dim] * (np.arange(self.eta) + 0.5) / self.eta for dim in range(d)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([m.ravel() for m in mesh])
+
+    def compute_set(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None,
+    ) -> MethodResult:
+        if map_fn is None:
+            raise ValueError("RL needs the base index's map() for cell centres")
+        started = time.perf_counter()
+        centers = self._cell_centers(sorted_points)
+        center_keys = np.asarray(map_fn(centers), dtype=np.float64)
+        # Order cells by their rank in the mapped space (MDP state layout).
+        order = np.argsort(center_keys, kind="stable")
+        center_keys = center_keys[order]
+        n_cells = len(center_keys)
+
+        state = np.ones(n_cells)
+        dist = ks_distance(center_keys, sorted_keys, assume_sorted=True)
+        best_state = state.copy()
+        best_dist = dist
+
+        agent = DQNAgent(
+            state_size=n_cells,
+            n_actions=n_cells,
+            config=DQNConfig(gamma=self.gamma, batch_size=self.alpha),
+            seed=self.seed,
+        )
+        rng = np.random.default_rng(self.seed)
+        stale = 0
+        for _step in range(self.steps):
+            action = agent.select_action(state)
+            next_state = state.copy()
+            if rng.random() < self.zeta:
+                next_state[action] = 1.0 - next_state[action]
+            active = next_state > 0.5
+            if not active.any():
+                next_state[action] = 1.0
+                active = next_state > 0.5
+            next_dist = ks_distance(
+                center_keys[active], sorted_keys, assume_sorted=True
+            )
+            reward = dist - next_dist
+            agent.observe(Transition(state, action, reward, next_state))
+            state, dist = next_state, next_dist
+            if dist < best_dist - 1e-12:
+                best_dist = dist
+                best_state = state.copy()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        active = best_state > 0.5
+        keys = center_keys[active]
+        if len(keys) < 2:
+            raise MethodFailure("RL: search collapsed to fewer than 2 cells")
+        ranks = self._self_ranks(len(keys))
+        return MethodResult(keys, ranks, time.perf_counter() - started)

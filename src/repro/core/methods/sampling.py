@@ -1,0 +1,80 @@
+"""SP and RSP: sampling-based training-set construction (Section V-A1).
+
+SP uses *systematic* sampling over the sorted key order: one point every
+``floor(1/rho)`` positions.  By the pigeonhole argument in the paper, the
+rank gap between any point and its nearest sampled neighbour is at most
+``floor(1/rho) - 1``, a bound no other sampling scheme (including random
+sampling) can beat — which is why SP dominates RSP in Figure 7.
+
+RSP is the random-sampling baseline from Li et al. [15], kept for that
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.methods.base import BuildMethod, MethodResult
+from repro.indices.base import MapFn
+
+__all__ = ["RandomSamplingMethod", "SystematicSamplingMethod"]
+
+
+class SystematicSamplingMethod(BuildMethod):
+    """SP: pick every ``floor(1/rho)``-th point of the sorted order."""
+
+    name = "SP"
+    requires_map_fn = False
+
+    def __init__(self, rho: float = 0.01) -> None:
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must lie in (0, 1], got {rho}")
+        self.rho = rho
+
+    def compute_set(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None,
+    ) -> MethodResult:
+        n = len(sorted_keys)
+        started = time.perf_counter()
+        step = max(1, int(1.0 / self.rho))
+        indices = np.arange(0, n, step)
+        if indices[-1] != n - 1:
+            # Always include the last point so the key range is covered.
+            indices = np.append(indices, n - 1)
+        keys = sorted_keys[indices]
+        ranks = self._true_ranks(indices, n)
+        return MethodResult(keys, ranks, time.perf_counter() - started)
+
+
+class RandomSamplingMethod(BuildMethod):
+    """RSP: uniform random sampling at the same expected size as SP."""
+
+    name = "RSP"
+    requires_map_fn = False
+
+    def __init__(self, rho: float = 0.01, seed: int = 0) -> None:
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must lie in (0, 1], got {rho}")
+        self.rho = rho
+        self.seed = seed
+
+    def compute_set(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None,
+    ) -> MethodResult:
+        n = len(sorted_keys)
+        started = time.perf_counter()
+        size = max(2, int(round(self.rho * n)))
+        size = min(size, n)
+        rng = np.random.default_rng(self.seed)
+        indices = np.sort(rng.choice(n, size=size, replace=False))
+        keys = sorted_keys[indices]
+        ranks = self._true_ranks(indices, n)
+        return MethodResult(keys, ranks, time.perf_counter() - started)

@@ -1,0 +1,376 @@
+"""The ELSI update processor and rebuild predictor (Section IV-B2).
+
+Updates use the paper's default procedures: inserted points go to a side
+list and deletions are recorded as marks; queries scan the side list and
+merge/filter its contents with the base index's results.  The CDF of the
+indexed data is snapshotted at build time; as updates arrive, ``sim(D', D)``
+is recomputed so the learned *rebuild predictor* — an FFN over cardinality,
+distribution, index depth, update ratio and CDF change — can decide when to
+trigger a full rebuild (the ``to_rebuild`` API).  The predictor runs after
+every ``f_u`` updates.
+
+Ground truth for the predictor follows Section VII-B2: indices with and
+without rebuilds are compared after batches of updates, and the label is 1
+when the no-rebuild query time exceeds the with-rebuild time by 10 %.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import ELSIConfig
+from repro.indices.base import LearnedSpatialIndex
+from repro.ml.ffn import FFN
+from repro.ml.trainer import TrainConfig, train_regressor
+from repro.spatial.cdf import ks_distance, uniform_dissimilarity
+from repro.spatial.rect import Rect
+
+__all__ = ["RebuildPredictor", "UpdateProcessor", "train_rebuild_predictor"]
+
+
+class RebuildPredictor:
+    """FFN ``C_RB`` mapping update-state features to a rebuild/keep decision.
+
+    Features (Section IV-B2): log10 cardinality (scaled), ``dist(D_U, D)``,
+    index depth, update ratio ``|D'|/|D| - 1``, and the CDF change
+    ``sim(D', D)``.  Output is regressed to {0, 1}; :meth:`should_rebuild`
+    thresholds at 0.5.
+    """
+
+    N_FEATURES = 5
+
+    def __init__(self, hidden: int = 32, seed: int = 0) -> None:
+        self.net = FFN([self.N_FEATURES, hidden, 1], seed=seed)
+        self._fitted = False
+
+    @staticmethod
+    def features(
+        n: int, dist_u: float, depth: int, update_ratio: float, cdf_sim: float
+    ) -> np.ndarray:
+        if n < 1:
+            raise ValueError(f"cardinality must be >= 1, got {n}")
+        return np.array(
+            [np.log10(n) / 8.0, dist_u, depth / 16.0, update_ratio, cdf_sim]
+        )
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int = 1500, seed: int = 0) -> None:
+        """Train on feature rows and binary labels."""
+        x2 = np.asarray(x, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if x2.ndim != 2 or x2.shape[1] != self.N_FEATURES:
+            raise ValueError(f"expected (n, {self.N_FEATURES}) features, got {x2.shape}")
+        train_regressor(self.net, x2, y, TrainConfig(epochs=epochs, seed=seed, patience=200))
+        self._fitted = True
+
+    def should_rebuild(
+        self, n: int, dist_u: float, depth: int, update_ratio: float, cdf_sim: float
+    ) -> bool:
+        if not self._fitted:
+            raise RuntimeError("rebuild predictor is not fitted; call fit() first")
+        x = self.features(n, dist_u, depth, update_ratio, cdf_sim)
+        return bool(self.net.predict(x[None, :])[0] >= 0.5)
+
+
+class UpdateProcessor:
+    """Default update procedures wrapping a built learned index.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.indices.base.LearnedSpatialIndex`.
+    config:
+        Supplies ``f_u`` (updates between predictor invocations).
+    predictor:
+        Optional trained :class:`RebuildPredictor`; without one,
+        ``to_rebuild`` falls back to a CDF-drift heuristic.
+    auto_rebuild:
+        When True, :meth:`insert`/:meth:`delete` trigger a rebuild as soon
+        as the predictor says so (the "-R" indices of Figures 15–16).
+    native:
+        Route insertions through the index's *built-in* insertion procedure
+        instead of the side list (the paper's Figure 15 setting: "LISA and
+        RSMI use built-in insertion procedures, and ML uses extra data
+        pages").  Built-in inserts degrade query performance structurally,
+        which is what the rebuild predictor exists to repair.
+    """
+
+    def __init__(
+        self,
+        index: LearnedSpatialIndex,
+        config: ELSIConfig | None = None,
+        predictor: RebuildPredictor | None = None,
+        auto_rebuild: bool = False,
+        native: bool = False,
+        index_factory=None,
+    ) -> None:
+        if index.bounds is None:
+            raise ValueError("the wrapped index must be built first")
+        self.index = index
+        self.config = config or ELSIConfig()
+        self.predictor = predictor
+        self.auto_rebuild = auto_rebuild
+        self.native = native
+        # Rebuilds recreate the index through this factory; the default
+        # clone keeps only the builder, so pass a factory when the index
+        # was constructed with non-default parameters.
+        self._index_factory = index_factory or (
+            lambda: type(index)(builder=index.builder)
+        )
+        self._base_points = self._snapshot_points(index)
+        self._base_keys = np.sort(
+            np.asarray(index.map(self._base_points), dtype=np.float64)
+        )
+        self._inserted: list[np.ndarray] = []
+        # Exact-match lookup structure over the side list, playing the role
+        # of the paper's binary tree on updated-point IDs (Section IV-B2):
+        # point queries hit this map instead of scanning the list.
+        self._inserted_count: dict[tuple[float, ...], int] = {}
+        self._deleted: set[tuple[float, ...]] = set()
+        self._updates_since_check = 0
+        self._updates_total = 0
+        self.rebuilds = 0
+        self.last_rebuild_seconds = 0.0
+
+    @staticmethod
+    def _snapshot_points(index: LearnedSpatialIndex) -> np.ndarray:
+        """All points currently indexed (exact, from the index's storage)."""
+        return index.indexed_points()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    @property
+    def n_pending(self) -> int:
+        """Side-list size (inserted entries currently buffered)."""
+        return len(self._inserted)
+
+    @property
+    def n_effective(self) -> int:
+        """Current logical cardinality |D'|."""
+        base_n = self.index.n_points if self.native else len(self._base_points)
+        return base_n - len(self._deleted) + len(self._inserted)
+
+    def insert(self, point: np.ndarray) -> None:
+        """Add a point — to the side list (default procedure) or through the
+        index's built-in insertion when ``native`` is set."""
+        p = np.asarray(point, dtype=np.float64)
+        key = tuple(float(v) for v in p)
+        # Re-inserting a deleted base point just clears the mark.
+        if key in self._deleted:
+            self._deleted.remove(key)
+        elif self.native:
+            self.index.insert(p)
+        else:
+            self._inserted.append(p)
+            self._inserted_count[key] = self._inserted_count.get(key, 0) + 1
+        self._note_update()
+
+    def delete(self, point: np.ndarray) -> bool:
+        """Mark a point deleted; returns whether it was indexed."""
+        p = np.asarray(point, dtype=np.float64)
+        key = tuple(float(v) for v in p)
+        if self._inserted_count.get(key, 0) > 0:
+            for i, q in enumerate(self._inserted):
+                if np.array_equal(q, p):
+                    self._inserted.pop(i)
+                    break
+            self._inserted_count[key] -= 1
+            if self._inserted_count[key] == 0:
+                del self._inserted_count[key]
+            self._note_update()
+            return True
+        if key in self._deleted:
+            return False
+        if self.index.point_query(p):
+            self._deleted.add(key)
+            self._note_update()
+            return True
+        return False
+
+    def _note_update(self) -> None:
+        self._updates_since_check += 1
+        self._updates_total += 1
+        if self._updates_since_check >= self.config.f_u:
+            self._updates_since_check = 0
+            if self.auto_rebuild and self.to_rebuild():
+                self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Queries (merge the side list with the base index)
+    # ------------------------------------------------------------------
+    def _inserted_array(self) -> np.ndarray:
+        if not self._inserted:
+            d = self.index.bounds.ndim if self.index.bounds else 2
+            return np.empty((0, d))
+        return np.vstack(self._inserted)
+
+    def _filter_deleted(self, points: np.ndarray) -> np.ndarray:
+        if not self._deleted or len(points) == 0:
+            return points
+        keep = np.array(
+            [tuple(float(v) for v in p) not in self._deleted for p in points]
+        )
+        return points[keep]
+
+    def point_query(self, point: np.ndarray) -> bool:
+        p = np.asarray(point, dtype=np.float64)
+        key = tuple(float(v) for v in p)
+        if key in self._deleted:
+            return False
+        if self._inserted_count.get(key, 0) > 0:
+            return True
+        return self.index.point_query(p)
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        base = self._filter_deleted(self.index.window_query(window))
+        extra = self._inserted_array()
+        if len(extra):
+            extra = extra[window.contains_points(extra)]
+        if len(extra) == 0:
+            return base
+        if len(base) == 0:
+            return extra
+        return np.vstack([base, extra])
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        q = np.asarray(point, dtype=np.float64)
+        # Ask the base for enough extra neighbours to absorb deletions.
+        base = self.index.knn_query(q, k + len(self._deleted))
+        base = self._filter_deleted(base)
+        candidates = [base]
+        extra = self._inserted_array()
+        if len(extra):
+            candidates.append(extra)
+        merged = np.vstack([c for c in candidates if len(c)])
+        if len(merged) == 0:
+            return merged
+        diff = merged - q
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        order = np.argsort(dist, kind="stable")
+        return merged[order[: min(k, len(order))]]
+
+    # ------------------------------------------------------------------
+    # Rebuild (the to_rebuild / build APIs of Figure 3)
+    # ------------------------------------------------------------------
+    def current_points(self) -> np.ndarray:
+        """The logical data set D' (base minus deletions plus insertions)."""
+        base = self._filter_deleted(
+            self.index.indexed_points() if self.native else self._base_points
+        )
+        extra = self._inserted_array()
+        if len(extra) == 0:
+            return base
+        if len(base) == 0:
+            return extra
+        return np.vstack([base, extra])
+
+    def update_features(self) -> np.ndarray:
+        """The rebuild predictor's feature vector for the current state."""
+        current = self.current_points()
+        keys = np.sort(np.asarray(self.index.map(current), dtype=np.float64))
+        dist_u = uniform_dissimilarity(keys, assume_sorted=True)
+        cdf_sim = 1.0 - ks_distance(keys, self._base_keys, assume_sorted=True)
+        depth = self.index.depth() if hasattr(self.index, "depth") else 1
+        n0 = len(self._base_points)
+        update_ratio = self._updates_total / max(n0, 1)
+        # (n0 is the size at the last (re)build; the ratio resets on rebuild.)
+        return RebuildPredictor.features(
+            n=max(len(current), 1),
+            dist_u=dist_u,
+            depth=depth,
+            update_ratio=update_ratio,
+            cdf_sim=cdf_sim,
+        )
+
+    def to_rebuild(self) -> bool:
+        """Whether the system recommends a full rebuild now."""
+        if self.predictor is not None:
+            x = self.update_features()
+            return bool(self.predictor.net.predict(x[None, :])[0] >= 0.5)
+        # Untrained fallback: rebuild once the CDF drifted or the side list
+        # outgrew a tenth of the base data (a simple, Oracle-style rule).
+        current = self.current_points()
+        keys = np.sort(np.asarray(self.index.map(current), dtype=np.float64))
+        drift = ks_distance(keys, self._base_keys, assume_sorted=True)
+        return drift > 0.05 or len(self._inserted) > 0.1 * len(self._base_points)
+
+    def rebuild(self) -> float:
+        """Full index rebuild on D' through the build API; returns seconds."""
+        points = self.current_points()
+        started = time.perf_counter()
+        fresh = self._index_factory()
+        fresh.build(points)
+        elapsed = time.perf_counter() - started
+        self.index = fresh
+        self._base_points = points
+        self._base_keys = np.sort(np.asarray(fresh.map(points), dtype=np.float64))
+        self._inserted = []
+        self._inserted_count = {}
+        self._deleted = set()
+        self._updates_total = 0
+        self._updates_since_check = 0
+        self.rebuilds += 1
+        self.last_rebuild_seconds = elapsed
+        return elapsed
+
+
+def train_rebuild_predictor(
+    index_factory,
+    config: ELSIConfig | None = None,
+    cardinalities: tuple[int, ...] = (2_000, 5_000),
+    deltas: tuple[float, ...] = (0.0, 0.4, 0.8),
+    insert_fractions: tuple[float, ...] = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32),
+    n_queries: int = 150,
+    threshold: float = 1.1,
+    seed: int = 0,
+) -> RebuildPredictor:
+    """Generate ground truth and fit the rebuild predictor (Section VII-B2).
+
+    For each (cardinality, distribution) a base index is built; skewed
+    batches are inserted at geometrically growing fractions of n, and point
+    query times are measured on the aged index versus a freshly rebuilt one.
+    The label is 1 (rebuild) when the aged index is ``threshold`` times
+    slower.
+    """
+    from repro.data.controlled import dataset_with_uniform_distance
+    from repro.data.generators import skewed
+
+    cfg = config or ELSIConfig()
+    features: list[np.ndarray] = []
+    labels: list[int] = []
+    rng = np.random.default_rng(seed)
+    for n in cardinalities:
+        for i, delta in enumerate(deltas):
+            points = dataset_with_uniform_distance(n, delta, seed=seed + i)
+            index = index_factory()
+            index.build(points)
+            processor = UpdateProcessor(index, cfg)
+            inserts = skewed(int(max(insert_fractions) * n) + 1, seed=seed + 100 + i)
+            cursor = 0
+            for fraction in insert_fractions:
+                target = int(fraction * n)
+                while cursor < target:
+                    processor.insert(inserts[cursor])
+                    cursor += 1
+                query_ids = rng.integers(0, n, size=min(n_queries, n))
+                started = time.perf_counter()
+                for qi in query_ids:
+                    processor.point_query(points[qi])
+                aged = time.perf_counter() - started
+
+                rebuilt = index_factory()
+                rebuilt.build(processor.current_points())
+                started = time.perf_counter()
+                for qi in query_ids:
+                    rebuilt.point_query(points[qi])
+                fresh = time.perf_counter() - started
+
+                features.append(processor.update_features())
+                labels.append(int(aged > threshold * fresh))
+    predictor = RebuildPredictor(seed=seed)
+    predictor.fit(np.stack(features), np.array(labels), seed=seed)
+    return predictor

@@ -1,0 +1,55 @@
+"""Learned spatial indices (the paper's base indices).
+
+Every index here satisfies ELSI's applicability conditions (Section III):
+
+1. *Map-and-sort*: points are mapped to one-dimensional keys and stored in
+   key order (:class:`repro.storage.blocks.BlockStore`).
+2. *Predict-and-scan*: a point query invokes the index model once and scans
+   ``[M(q) - err_l, M(q) + err_u]``.
+
+The seam where ELSI plugs in is :class:`repro.indices.base.ModelBuilder`:
+each index builds its model(s) through a builder, and ELSI substitutes its
+build processor for the default original-data (OG) builder.
+
+- :mod:`repro.indices.zm` — ZM: Z-curve keys + learned CDF model,
+- :mod:`repro.indices.ml_index` — ML-Index: iDistance keys (exact queries),
+- :mod:`repro.indices.rsmi` — RSMI: recursive SFC partitions, model per node,
+- :mod:`repro.indices.lisa` — LISA: grid-mapped keys + shard prediction.
+
+Extensions beyond the paper's four base indices (its stated future work):
+
+- :mod:`repro.indices.flood` — Flood: a query-aware column index whose
+  per-column models ELSI accelerates,
+- :mod:`repro.indices.pgm` — a PGM-style builder giving *provable* error
+  bounds via piecewise-linear CDFs.
+"""
+
+from repro.indices.base import (
+    BuildStats,
+    LearnedSpatialIndex,
+    ModelBuilder,
+    OriginalBuilder,
+    TrainedModel,
+)
+from repro.indices.flood import FloodIndex
+from repro.indices.lisa import LISAIndex
+from repro.indices.ml_index import MLIndex
+from repro.indices.pgm import PGMBuilder
+from repro.indices.rmi import RMIModel
+from repro.indices.rsmi import RSMIIndex
+from repro.indices.zm import ZMIndex
+
+__all__ = [
+    "BuildStats",
+    "FloodIndex",
+    "LISAIndex",
+    "LearnedSpatialIndex",
+    "MLIndex",
+    "ModelBuilder",
+    "OriginalBuilder",
+    "PGMBuilder",
+    "RMIModel",
+    "RSMIIndex",
+    "TrainedModel",
+    "ZMIndex",
+]

@@ -1,0 +1,393 @@
+"""The map-and-sort / predict-and-scan contract shared by all base indices.
+
+Section III's applicability conditions become code here:
+
+- :class:`TrainedModel` is an index model ``M``: it predicts a storage
+  address from a mapped key and carries the empirical error bounds
+  ``err_l``/``err_u`` measured over the *full* data set, so a scan of
+  ``[M(q.key) - err_l, M(q.key) + err_u]`` is guaranteed to contain any
+  indexed point (predict-and-scan correctness).
+- :class:`ModelBuilder` is the seam ELSI plugs into.  Its
+  :meth:`~ModelBuilder.build_model` receives the key-sorted data and returns
+  a trained model; :class:`OriginalBuilder` (the paper's OG) trains on the
+  full set, while ELSI's build processor trains on an engineered subset
+  ``D_S`` (Algorithm 1).
+- :class:`LearnedSpatialIndex` is the query-facing API: point, window and
+  kNN queries plus build statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.ffn import FFN
+from repro.ml.trainer import TrainConfig, train_regressor
+from repro.spatial.rect import Rect
+
+__all__ = [
+    "BuildStats",
+    "LearnedSpatialIndex",
+    "MapFn",
+    "ModelBuilder",
+    "OriginalBuilder",
+    "QueryStats",
+    "TrainedModel",
+]
+
+# A base index's map() for one partition: coordinates -> mapped keys.
+MapFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class BuildStats:
+    """Per-build timing decomposition matching Section VI.
+
+    ``prepare_seconds`` is ``cost_dp`` (mapping + sorting), ``train_seconds``
+    is ``T(|D_S|)``, ``extra_seconds`` is the method-specific ``cost_ex``
+    (sampling, clustering, partitioning, RL search, ...), and
+    ``error_bound_seconds`` the ``M(n)`` full-set prediction pass.
+    """
+
+    prepare_seconds: float = 0.0
+    train_seconds: float = 0.0
+    extra_seconds: float = 0.0
+    error_bound_seconds: float = 0.0
+    train_set_size: int = 0
+    n_models: int = 0
+    methods_used: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.prepare_seconds
+            + self.train_seconds
+            + self.extra_seconds
+            + self.error_bound_seconds
+        )
+
+    def merge(self, other: "BuildStats") -> None:
+        """Accumulate another model's build costs (multi-model indices)."""
+        self.prepare_seconds += other.prepare_seconds
+        self.train_seconds += other.train_seconds
+        self.extra_seconds += other.extra_seconds
+        self.error_bound_seconds += other.error_bound_seconds
+        self.train_set_size += other.train_set_size
+        self.n_models += other.n_models
+        for name, count in other.methods_used.items():
+            self.methods_used[name] = self.methods_used.get(name, 0) + count
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated across queries (reset with :meth:`reset`)."""
+
+    model_invocations: int = 0
+    points_scanned: int = 0
+    queries: int = 0
+
+    def reset(self) -> None:
+        self.model_invocations = 0
+        self.points_scanned = 0
+        self.queries = 0
+
+
+class TrainedModel:
+    """An index model ``M`` with empirical error bounds.
+
+    Predicts the sorted position (address) of a mapped key among the ``n``
+    indexed keys.  Keys are min-max normalised to [0, 1] before hitting the
+    network; predictions are de-normalised to integer positions.
+
+    Parameters
+    ----------
+    net:
+        Any object with a ``predict(x) -> y`` over 2-D float input; an
+        :class:`~repro.ml.ffn.FFN` in practice.
+    key_lo, key_hi:
+        Normalisation range, taken from the *full* data set so queries and
+        error-bound measurement agree.
+    n_indexed:
+        Number of indexed points (the address space size).
+    """
+
+    def __init__(
+        self,
+        net: FFN,
+        key_lo: float,
+        key_hi: float,
+        n_indexed: int,
+        method_name: str = "OG",
+        train_set_size: int = 0,
+    ) -> None:
+        if n_indexed < 0:
+            raise ValueError(f"n_indexed must be >= 0, got {n_indexed}")
+        self.net = net
+        self.key_lo = float(key_lo)
+        self.key_hi = float(key_hi)
+        self.n_indexed = int(n_indexed)
+        self.method_name = method_name
+        self.train_set_size = train_set_size
+        self.err_l = 0
+        self.err_u = 0
+        self.invocations = 0
+
+    # ------------------------------------------------------------------
+    def normalise(self, keys: np.ndarray) -> np.ndarray:
+        """Min-max key normalisation (degenerate range maps to 0)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        span = self.key_hi - self.key_lo
+        if span <= 0.0:
+            return np.zeros_like(keys)
+        return (keys - self.key_lo) / span
+
+    def predict_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Predicted sorted positions (clipped to [0, n-1]) for ``keys``."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        self.invocations += len(keys)
+        if self.n_indexed == 0:
+            return np.zeros(len(keys), dtype=np.int64)
+        raw = self.net.predict(self.normalise(keys)[:, None])
+        pos = np.rint(raw * (self.n_indexed - 1)).astype(np.int64)
+        return np.clip(pos, 0, self.n_indexed - 1)
+
+    def measure_error_bounds(self, all_keys_sorted: np.ndarray) -> None:
+        """Record ``err_l``/``err_u`` over the full sorted key set.
+
+        Guarantees that for every indexed key at true position ``i`` with
+        prediction ``p``: ``i in [p - err_l, p + err_u]`` — the invariant the
+        predict-and-scan paradigm relies on (Section III, condition 2).
+        """
+        n = len(all_keys_sorted)
+        if n == 0:
+            self.err_l = self.err_u = 0
+            return
+        predicted = self.predict_positions(all_keys_sorted)
+        true_pos = np.arange(n)
+        over = predicted - true_pos  # positive: predicted past the point
+        self.err_l = int(max(0, over.max()))
+        self.err_u = int(max(0, (-over).max()))
+
+    def search_range(self, key: float) -> tuple[int, int]:
+        """Half-open scan range [lo, hi) for ``key`` under the error bounds."""
+        pos = int(self.predict_positions(np.array([key]))[0])
+        return max(0, pos - self.err_l), min(self.n_indexed, pos + self.err_u + 1)
+
+    @property
+    def error_width(self) -> int:
+        """``err_l + err_u`` — the paper's |Error| column in Table I."""
+        return self.err_l + self.err_u
+
+
+class ModelBuilder(ABC):
+    """Strategy that turns key-sorted data into a :class:`TrainedModel`.
+
+    This is ELSI's integration point: base indices never train directly,
+    they ask their builder.  The builder receives the *sorted* mapped keys
+    and the points in the same order (Algorithm 1 runs after map + sort).
+
+    ``map_fn`` is the base index's ``map()`` for this partition: it turns
+    arbitrary coordinates into mapped keys.  Build methods that synthesise
+    points not in ``D`` (CL, RL) need it; an index whose mapping depends on
+    ``D`` itself (LISA's data-derived grid) passes ``None``, which is
+    exactly the paper's applicability restriction for those methods.
+    """
+
+    @abstractmethod
+    def build_model(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        stats: BuildStats,
+        map_fn: "MapFn | None" = None,
+    ) -> TrainedModel:
+        """Train an index model for the given partition and record costs."""
+
+
+def fit_cdf_model(
+    train_keys: np.ndarray,
+    train_ranks: np.ndarray,
+    key_lo: float,
+    key_hi: float,
+    n_indexed: int,
+    hidden: int = 16,
+    train_config: TrainConfig | None = None,
+    method_name: str = "OG",
+    seed: int = 0,
+) -> tuple[TrainedModel, float]:
+    """Train an FFN on (key, rank) pairs and wrap it as a :class:`TrainedModel`.
+
+    ``train_ranks`` must already be normalised to [0, 1].  Returns the model
+    and the training wall-clock seconds (the ``T(|D_S|)`` term).
+    """
+    model = TrainedModel(
+        net=FFN([1, hidden, 1], seed=seed),
+        key_lo=key_lo,
+        key_hi=key_hi,
+        n_indexed=n_indexed,
+        method_name=method_name,
+        train_set_size=len(train_keys),
+    )
+    x = model.normalise(np.asarray(train_keys, dtype=np.float64))
+    result = train_regressor(model.net, x, np.asarray(train_ranks), train_config)
+    return model, result.elapsed_seconds
+
+
+class OriginalBuilder(ModelBuilder):
+    """The paper's OG method: train on the full data set (no reduction)."""
+
+    def __init__(self, train_config: TrainConfig | None = None, hidden: int = 16, seed: int = 0) -> None:
+        self.train_config = train_config
+        self.hidden = hidden
+        self.seed = seed
+
+    def build_model(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        stats: BuildStats,
+        map_fn: MapFn | None = None,
+    ) -> TrainedModel:
+        n = len(sorted_keys)
+        if n == 0:
+            raise ValueError("cannot build a model over an empty partition")
+        ranks = np.arange(n) / max(n - 1, 1)
+        model, train_seconds = fit_cdf_model(
+            sorted_keys,
+            ranks,
+            key_lo=float(sorted_keys[0]),
+            key_hi=float(sorted_keys[-1]),
+            n_indexed=n,
+            hidden=self.hidden,
+            train_config=self.train_config,
+            method_name="OG",
+            seed=self.seed,
+        )
+        started = time.perf_counter()
+        model.measure_error_bounds(sorted_keys)
+        stats.error_bound_seconds += time.perf_counter() - started
+        stats.train_seconds += train_seconds
+        stats.train_set_size += n
+        stats.n_models += 1
+        stats.methods_used["OG"] = stats.methods_used.get("OG", 0) + 1
+        return model
+
+
+class LearnedSpatialIndex(ABC):
+    """Query-facing API shared by ZM, ML-Index, RSMI and LISA.
+
+    Subclasses implement :meth:`build` (map + sort + train through the
+    builder) and the three query kinds.  ``build_stats`` and ``query_stats``
+    expose the cost counters every experiment reports.
+    """
+
+    name: str = "base"
+
+    def __init__(self, builder: ModelBuilder | None = None, block_size: int = 100) -> None:
+        self.builder = builder or OriginalBuilder()
+        self.block_size = block_size
+        self.build_stats = BuildStats()
+        self.query_stats = QueryStats()
+        self.bounds: Rect | None = None
+        self.n_points = 0
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self, points: np.ndarray) -> "LearnedSpatialIndex":
+        """Index ``points``; returns self for chaining."""
+
+    @abstractmethod
+    def point_query(self, point: np.ndarray) -> bool:
+        """Whether ``point`` (exact coordinates) is indexed."""
+
+    @abstractmethod
+    def window_query(self, window: Rect) -> np.ndarray:
+        """Points inside ``window`` as an (m, d) array (may be approximate)."""
+
+    @abstractmethod
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        """The ``k`` nearest indexed points to ``point`` (may be approximate)."""
+
+    @abstractmethod
+    def indexed_points(self) -> np.ndarray:
+        """Every indexed point, exactly (used by the update processor)."""
+
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Batch membership test; returns one bool per row.
+
+        The default loops over :meth:`point_query`; store-backed indices
+        override it with vectorised model predictions (one forward pass
+        for the whole batch).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.array([self.point_query(p) for p in pts], dtype=bool)
+
+    def insert(self, point: np.ndarray) -> None:
+        """Built-in insertion procedure (Section IV-B2 / Figure 15).
+
+        Inserts without retraining: the point lands at its sorted key
+        position and scan ranges widen conservatively, so predict-and-scan
+        stays correct while queries slow down as insertions accumulate —
+        the degradation that motivates the rebuild predictor.  Subclasses
+        refine this (RSMI adds local models, Figure 1).
+        """
+        raise NotImplementedError(f"{self.name} has no built-in insertion")
+
+    @abstractmethod
+    def map(self, points: np.ndarray) -> np.ndarray:
+        """The base index's map(): coordinates to one-dimensional keys."""
+
+    # ------------------------------------------------------------------
+    def _check_built(self) -> None:
+        if self.bounds is None:
+            raise RuntimeError(f"{self.name} index is not built yet")
+
+    @staticmethod
+    def _prepare_points(points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("need a non-empty (n, d) array of points")
+        if pts.shape[1] < 2:
+            raise ValueError("spatial indices need d >= 2")
+        return pts
+
+    def _knn_by_expanding_window(self, point: np.ndarray, k: int) -> np.ndarray:
+        """kNN via growing window queries (the paper's learned-index strategy).
+
+        Starts from a window sized for the expected k-point density and
+        doubles the side length until at least k points fall inside *and*
+        the k-th distance is covered by the window's inradius (so no closer
+        point can be outside the window).
+        """
+        self._check_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        q = np.asarray(point, dtype=np.float64)
+        assert self.bounds is not None
+        d = self.bounds.ndim
+        volume = self.bounds.area()
+        density = self.n_points / volume if volume > 0 else self.n_points
+        side = (k / max(density, 1e-12)) ** (1.0 / d)
+        max_side = float(self.bounds.extents.max()) * 2.0 + 1e-9
+        while True:
+            window = Rect.centered(q, side)
+            candidates = self.window_query(window)
+            if len(candidates) >= k:
+                diff = candidates - q
+                dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+                order = np.argsort(dist, kind="stable")
+                if dist[order[k - 1]] <= side / 2.0 or side > max_side:
+                    return candidates[order[:k]]
+            elif side > max_side:
+                # Fewer than k points indexed in total: return what exists.
+                if len(candidates) == 0:
+                    return np.empty((0, d))
+                diff = candidates - q
+                dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+                order = np.argsort(dist, kind="stable")
+                return candidates[order]
+            side *= 2.0

@@ -1,0 +1,213 @@
+"""Flood (Nathan et al., SIGMOD 2020): a query-aware learned multi-d index.
+
+The paper's conclusion lists "extend ELSI to support query-aware learned
+indices such as Flood" as future work; this module is that extension for
+the 2-d case.  Flood partitions a d-dimensional space with a grid over
+d-1 dimensions and indexes each partition's points by the last dimension
+with a learned CDF.  Here: the x-axis is split into ``n_columns``
+equal-frequency columns; within a column points are sorted by y and a
+model predicts the y-rank.
+
+*Query awareness*: :meth:`tune` picks ``n_columns`` from a sample query
+workload by minimising the estimated scan volume — wide windows favour few
+columns (fewer per-column fixed costs), selective windows favour many
+(tighter scans) — which is Flood's core idea in miniature.
+
+*ELSI integration*: each column model is built through the pluggable
+:class:`~repro.indices.base.ModelBuilder`, so ELSI accelerates Flood
+builds exactly as it does the paper's four base indices.  Window queries
+are exact: within a column the window's y-interval is contiguous in the
+sort order, and scan boundaries are gallop-refined.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.indices.base import LearnedSpatialIndex, ModelBuilder, TrainedModel
+from repro.indices.zm import locate_rank
+from repro.spatial.rect import Rect
+from repro.storage.blocks import BlockStore
+
+__all__ = ["FloodIndex"]
+
+
+class FloodIndex(LearnedSpatialIndex):
+    """A 2-d Flood index: x-columns + learned y-CDF per column.
+
+    Parameters
+    ----------
+    n_columns:
+        Number of x-axis columns (overridden by :meth:`tune`).
+    """
+
+    name = "Flood"
+
+    def __init__(
+        self,
+        builder: ModelBuilder | None = None,
+        block_size: int = 100,
+        n_columns: int = 16,
+    ) -> None:
+        super().__init__(builder, block_size)
+        if n_columns < 1:
+            raise ValueError(f"n_columns must be >= 1, got {n_columns}")
+        self.n_columns = n_columns
+        self._column_edges: np.ndarray | None = None
+        self._stores: list[BlockStore | None] = []
+        self._models: list[TrainedModel | None] = []
+
+    # ------------------------------------------------------------------
+    # Query-aware tuning (Flood's contribution)
+    # ------------------------------------------------------------------
+    #: Fixed cost of visiting one column, in scanned-row units (model
+    #: invocations + boundary search).  This is the knob that makes
+    #: column-count tuning a real trade-off: selective windows favour many
+    #: columns, wide windows few.
+    COLUMN_VISIT_COST = 10.0
+
+    @staticmethod
+    def estimate_cost(
+        points: np.ndarray, windows: list[Rect], n_columns: int
+    ) -> float:
+        """Estimated per-query work for a column count.
+
+        Each visited column pays a fixed cost (model invocations + a block
+        read) plus the expected rows scanned for the window's y-range.  Few
+        columns amortise the fixed cost over wide windows; many columns
+        avoid scanning rows outside a selective window's x-range — Flood's
+        query-aware trade-off.
+        """
+        n = len(points)
+        edges = np.quantile(points[:, 0], np.linspace(0, 1, n_columns + 1))
+        per_column = n / n_columns
+        y_sorted = np.sort(points[:, 1])
+        total = 0.0
+        for window in windows:
+            first = int(np.clip(np.searchsorted(edges, window.lo[0], "right") - 1, 0, n_columns - 1))
+            last = int(np.clip(np.searchsorted(edges, window.hi[0], "left"), 0, n_columns - 1))
+            visited = last - first + 1
+            y_lo = np.searchsorted(y_sorted, window.lo[1], "left")
+            y_hi = np.searchsorted(y_sorted, window.hi[1], "right")
+            y_fraction = (y_hi - y_lo) / max(n, 1)
+            total += visited * (FloodIndex.COLUMN_VISIT_COST + per_column * y_fraction)
+        return total / max(len(windows), 1)
+
+    @classmethod
+    def tune(
+        cls,
+        points: np.ndarray,
+        sample_windows: list[Rect],
+        candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+        builder: ModelBuilder | None = None,
+        block_size: int = 100,
+    ) -> "FloodIndex":
+        """Pick the column count minimising estimated cost on the workload
+        and return the (unbuilt) tuned index — Flood's query awareness."""
+        pts = cls._prepare_points(points)
+        if not sample_windows:
+            raise ValueError("need at least one sample window to tune")
+        best = min(candidates, key=lambda c: cls.estimate_cost(pts, sample_windows, c))
+        return cls(builder=builder, block_size=block_size, n_columns=best)
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def map(self, points: np.ndarray) -> np.ndarray:
+        """Mapped key: column id + normalised y offset (for CDF tracking)."""
+        self._check_built()
+        assert self._column_edges is not None and self.bounds is not None
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        cols = self._column_of(pts[:, 0])
+        y_lo, y_hi = self.bounds.lo[1], self.bounds.hi[1]
+        span = max(y_hi - y_lo, 1e-12)
+        offset = np.clip((pts[:, 1] - y_lo) / span, 0.0, 1.0 - 1e-12)
+        return cols + offset
+
+    def _column_of(self, xs: np.ndarray) -> np.ndarray:
+        assert self._column_edges is not None
+        inner = self._column_edges[1:-1]
+        return np.clip(np.searchsorted(inner, xs, side="right"), 0, self.n_columns - 1)
+
+    def build(self, points: np.ndarray) -> "FloodIndex":
+        pts = self._prepare_points(points)
+        started = time.perf_counter()
+        self.bounds = Rect.bounding(pts)
+        self.n_points = len(pts)
+        quantiles = np.linspace(0.0, 1.0, self.n_columns + 1)
+        self._column_edges = np.quantile(pts[:, 0], quantiles)
+        columns = self._column_of(pts[:, 0])
+        self.build_stats.prepare_seconds += time.perf_counter() - started
+
+        self._stores = []
+        self._models = []
+        for c in range(self.n_columns):
+            members = pts[columns == c]
+            if len(members) == 0:
+                self._stores.append(None)
+                self._models.append(None)
+                continue
+            started = time.perf_counter()
+            order = np.argsort(members[:, 1], kind="stable")
+            sorted_pts = members[order]
+            keys = sorted_pts[:, 1].copy()
+            store = BlockStore(sorted_pts, keys, block_size=self.block_size)
+            self.build_stats.prepare_seconds += time.perf_counter() - started
+            model = self.builder.build_model(
+                store.keys, store.points, self.build_stats, map_fn=None
+            )
+            self._stores.append(store)
+            self._models.append(model)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point_query(self, point: np.ndarray) -> bool:
+        self._check_built()
+        q = np.asarray(point, dtype=np.float64)
+        column = int(self._column_of(q[:1])[0])
+        store = self._stores[column]
+        model = self._models[column]
+        self.query_stats.queries += 1
+        if store is None or model is None:
+            return False
+        lo, hi = model.search_range(float(q[1]))
+        pts, _keys, _ids = store.scan(lo, hi)
+        self.query_stats.model_invocations += 1
+        self.query_stats.points_scanned += len(pts)
+        return bool(np.any(np.all(pts == q, axis=1)))
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        self._check_built()
+        self.query_stats.queries += 1
+        first = int(self._column_of(np.array([window.lo[0]]))[0])
+        last = int(self._column_of(np.array([window.hi[0]]))[0])
+        results: list[np.ndarray] = []
+        for c in range(first, last + 1):
+            store = self._stores[c]
+            model = self._models[c]
+            if store is None or model is None:
+                continue
+            lo = locate_rank(store.keys, window.lo[1], model.search_range(window.lo[1]), "left")
+            hi = locate_rank(store.keys, window.hi[1], model.search_range(window.hi[1]), "right")
+            pts, _keys, _ids = store.scan(lo, hi)
+            self.query_stats.model_invocations += 2
+            self.query_stats.points_scanned += len(pts)
+            if len(pts):
+                inside = pts[window.contains_points(pts)]
+                if len(inside):
+                    results.append(inside)
+        if not results:
+            return np.empty((0, window.ndim))
+        return np.vstack(results)
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        return self._knn_by_expanding_window(point, k)
+
+    def indexed_points(self) -> np.ndarray:
+        self._check_built()
+        chunks = [s.points for s in self._stores if s is not None]
+        return np.vstack(chunks)

@@ -1,0 +1,169 @@
+"""A recursive model index (RMI) over one-dimensional mapped keys.
+
+ZM and ML-Index both learn the key→rank CDF with an RMI (Kraska et al.,
+SIGMOD 2018): a stage-1 model routes each key to one of ``branching``
+stage-2 models, and the chosen stage-2 model predicts the storage address.
+Routing uses the stage-1 model's own prediction — the same computation at
+build and query time — so lookups of indexed keys always reach the model
+that indexed them.
+
+Every member model is trained through a
+:class:`~repro.indices.base.ModelBuilder`, which is how ELSI accelerates
+multi-model indices one model at a time (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indices.base import BuildStats, MapFn, ModelBuilder, TrainedModel
+
+__all__ = ["RMIModel"]
+
+
+class RMIModel:
+    """One- or two-stage learned CDF over a sorted key array.
+
+    Parameters
+    ----------
+    builder:
+        Trains each member model (ELSI's hook).
+    branching:
+        Number of stage-2 models; ``1`` collapses to a single model.
+    min_partition_size:
+        Below this cardinality the index stays single-stage regardless of
+        ``branching`` (tiny stage-2 models are pure overhead).
+    """
+
+    def __init__(
+        self,
+        builder: ModelBuilder,
+        branching: int = 1,
+        min_partition_size: int = 2_000,
+    ) -> None:
+        if branching < 1:
+            raise ValueError(f"branching must be >= 1, got {branching}")
+        self.builder = builder
+        self.branching = branching
+        self.min_partition_size = min_partition_size
+        self.stage1: TrainedModel | None = None
+        self.stage2: list[TrainedModel] = []
+        self._stage2_positions: list[np.ndarray] = []
+        self.n = 0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        stats: BuildStats,
+        map_fn: MapFn | None = None,
+    ) -> "RMIModel":
+        """Train the model hierarchy over globally key-sorted data."""
+        self.n = len(sorted_keys)
+        if self.n == 0:
+            raise ValueError("cannot fit an RMI on an empty key set")
+        self.stage1 = self.builder.build_model(sorted_keys, sorted_points, stats, map_fn)
+        self.stage2 = []
+        self._stage2_positions = []
+        if self.branching == 1 or self.n < self.min_partition_size:
+            return self
+
+        routed = self._route(sorted_keys)
+        for branch in range(self.branching):
+            mask = routed == branch
+            positions = np.flatnonzero(mask)
+            if len(positions) == 0:
+                self.stage2.append(self.stage1)
+                self._stage2_positions.append(positions)
+                continue
+            model = self.builder.build_model(
+                sorted_keys[positions], sorted_points[positions], stats, map_fn
+            )
+            self.stage2.append(model)
+            self._stage2_positions.append(positions)
+        return self
+
+    def _route(self, keys: np.ndarray) -> np.ndarray:
+        """Stage-2 branch per key, from the stage-1 position prediction."""
+        assert self.stage1 is not None
+        pos = self.stage1.predict_positions(keys)
+        branch = (pos * self.branching) // max(self.n, 1)
+        return np.clip(branch, 0, self.branching - 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_two_stage(self) -> bool:
+        return bool(self.stage2)
+
+    @property
+    def models(self) -> list[TrainedModel]:
+        """All member models (stage 1 first)."""
+        assert self.stage1 is not None
+        unique: list[TrainedModel] = [self.stage1]
+        for m in self.stage2:
+            if m is not self.stage1:
+                unique.append(m)
+        return unique
+
+    @property
+    def invocations(self) -> int:
+        return sum(m.invocations for m in self.models)
+
+    @property
+    def max_error_width(self) -> int:
+        """Worst-case ``err_l + err_u`` across member models (Table I |Error|)."""
+        return max(m.error_width for m in self.models)
+
+    def search_ranges(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`search_range` over a key batch.
+
+        One network forward pass per stage (and per visited stage-2 model)
+        instead of one per key — the throughput path for batch lookups.
+        """
+        assert self.stage1 is not None
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        if not self.is_two_stage:
+            pos = self.stage1.predict_positions(keys)
+            lo = np.maximum(pos - self.stage1.err_l, 0)
+            hi = np.minimum(pos + self.stage1.err_u + 1, self.n)
+            return lo, hi
+        branches = self._route(keys)
+        lo = np.zeros(len(keys), dtype=np.int64)
+        hi = np.zeros(len(keys), dtype=np.int64)
+        for branch in np.unique(branches):
+            mask = branches == branch
+            positions = self._stage2_positions[branch]
+            model = self.stage2[branch]
+            if len(positions) == 0:
+                pos = self.stage1.predict_positions(keys[mask])
+                lo[mask] = np.maximum(pos - self.stage1.err_l, 0)
+                hi[mask] = np.minimum(pos + self.stage1.err_u + 1, self.n)
+                continue
+            local = model.predict_positions(keys[mask])
+            lo_local = np.clip(local - model.err_l, 0, len(positions) - 1)
+            hi_local = np.clip(local + model.err_u + 1, 1, len(positions))
+            lo[mask] = positions[lo_local]
+            hi[mask] = positions[hi_local - 1] + 1
+        return lo, hi
+
+    def search_range(self, key: float) -> tuple[int, int]:
+        """Global half-open position range guaranteed to contain ``key``.
+
+        Single-stage: the stage-1 model's own range.  Two-stage: route, get
+        the stage-2 model's *local* range, then widen to the global
+        positions its local endpoints map to (stage-2 point sets need not be
+        globally contiguous).
+        """
+        assert self.stage1 is not None
+        if not self.is_two_stage:
+            return self.stage1.search_range(key)
+        branch = int(self._route(np.array([key]))[0])
+        positions = self._stage2_positions[branch]
+        model = self.stage2[branch]
+        if len(positions) == 0:
+            return self.stage1.search_range(key)
+        lo_local, hi_local = model.search_range(key)
+        lo_local = max(0, min(lo_local, len(positions) - 1))
+        hi_local = max(1, min(hi_local, len(positions)))
+        return int(positions[lo_local]), int(positions[hi_local - 1]) + 1

@@ -1,0 +1,329 @@
+"""RSMI (Qi et al., PVLDB 2020): recursive spatial model index.
+
+RSMI builds a hierarchy of space partitions: each node maps its points to a
+space-filling-curve order *local to the node's bounding box*, learns a model
+over that order, and routes points to ``fanout`` children by the model's own
+prediction.  Because routing at query time repeats the build-time
+computation exactly, point queries of indexed points always reach the right
+leaf.  Window (and hence kNN) queries are *approximate*: the per-node models
+are not monotone, so the child range predicted for a window's corner keys
+can miss a child holding a matching point — this is the mechanism behind the
+sub-100 % recall the paper reports for RSMI (Figure 12(b)).
+
+Every node model is trained through the pluggable
+:class:`~repro.indices.base.ModelBuilder`, which is exactly the multi-model
+scenario Figure 3 illustrates ELSI accelerating (models M_{0,0}, M_{1,0},
+M_{1,1} built one at a time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.indices.base import (
+    BuildStats,
+    LearnedSpatialIndex,
+    ModelBuilder,
+    TrainedModel,
+)
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import zvalues
+from repro.storage.blocks import BlockStore
+
+__all__ = ["RSMIIndex"]
+
+
+@dataclass
+class _Node:
+    """One RSMI partition: a model plus either children or a leaf store."""
+
+    bounds: Rect
+    model: TrainedModel
+    n: int
+    children: list["_Node | None"] = field(default_factory=list)
+    store: BlockStore | None = None
+    depth: int = 0
+    #: Built-in insertions into this leaf since its model was trained;
+    #: scan ranges widen by this count (no retraining on insert).
+    inserts: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.store is not None
+
+
+class RSMIIndex(LearnedSpatialIndex):
+    """The RSMI learned spatial index.
+
+    Parameters
+    ----------
+    leaf_capacity:
+        Partitions at or below this size become leaves.
+    fanout:
+        Children per internal node.
+    bits:
+        Morton resolution for the per-node local curve.
+    """
+
+    name = "RSMI"
+
+    def __init__(
+        self,
+        builder: ModelBuilder | None = None,
+        block_size: int = 100,
+        leaf_capacity: int = 2_000,
+        fanout: int = 4,
+        bits: int = 16,
+    ) -> None:
+        super().__init__(builder, block_size)
+        if leaf_capacity < 1:
+            raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.bits = bits
+        self.root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self, points: np.ndarray) -> "RSMIIndex":
+        pts = self._prepare_points(points)
+        self.bounds = Rect.bounding(pts)
+        self.n_points = len(pts)
+        self.root = self._build_node(pts, self.bounds, depth=0)
+        return self
+
+    def _node_keys(self, points: np.ndarray, bounds: Rect) -> np.ndarray:
+        """Morton codes local to the node's bounding box."""
+        return zvalues(points, bounds, self.bits).astype(np.float64)
+
+    def _build_node(self, points: np.ndarray, bounds: Rect, depth: int) -> _Node:
+        started = time.perf_counter()
+        keys = self._node_keys(points, bounds)
+        order = np.argsort(keys, kind="stable")
+        sorted_pts = points[order]
+        sorted_keys = keys[order]
+        self.build_stats.prepare_seconds += time.perf_counter() - started
+
+        node_map = lambda pts: self._node_keys(pts, bounds)  # noqa: E731
+        model = self.builder.build_model(
+            sorted_keys, sorted_pts, self.build_stats, map_fn=node_map
+        )
+        node = _Node(bounds=bounds, model=model, n=len(points), depth=depth)
+
+        if len(points) <= self.leaf_capacity or depth >= 16:
+            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
+            return node
+
+        branch = self._route(model, sorted_keys, len(points))
+        counts = np.bincount(branch, minlength=self.fanout)
+        if counts.max() == len(points):
+            # Degenerate model: everything routed to one child.  Fall back
+            # to a leaf; the scan bounds still guarantee point lookups.
+            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
+            return node
+
+        for b in range(self.fanout):
+            mask = branch == b
+            if not mask.any():
+                node.children.append(None)
+                continue
+            child_pts = sorted_pts[mask]
+            child_bounds = Rect.bounding(child_pts)
+            node.children.append(self._build_node(child_pts, child_bounds, depth + 1))
+        return node
+
+    def _route(self, model: TrainedModel, keys: np.ndarray, n: int) -> np.ndarray:
+        """Child assignment: the model's predicted rank, bucketed by fanout."""
+        pos = model.predict_positions(keys)
+        branch = (pos * self.fanout) // max(n, 1)
+        return np.clip(branch, 0, self.fanout - 1)
+
+    # ------------------------------------------------------------------
+    # Built-in insertion (the Figure 1 mechanism)
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> None:
+        """RSMI's built-in insertion: route to a leaf by the existing
+        models, append to the leaf's pages, and — when a leaf overflows —
+        rebuild it *locally* into a subtree with new models.  Skewed
+        insertions therefore deepen one region of the hierarchy while the
+        rest stays shallow: the unbalanced structure of Figure 1."""
+        self._check_built()
+        assert self.root is not None
+        q = np.asarray(point, dtype=np.float64)
+        parent: _Node | None = None
+        branch = -1
+        node = self.root
+        while not node.is_leaf:
+            key = float(self._node_keys(q[None, :], node.bounds)[0])
+            b = int(self._route(node.model, np.array([key]), node.n)[0])
+            child = node.children[b]
+            if child is None:
+                # First point routed here: open a fresh single-point leaf.
+                child = self._make_singleton_leaf(q, node.bounds, node.depth + 1)
+                node.children[b] = child
+                self.n_points += 1
+                return
+            parent, branch = node, b
+            node = child
+        assert node.store is not None
+        key = float(self._node_keys(q[None, :], node.bounds)[0])
+        node.store.insert(q, key)
+        node.inserts += 1
+        self.n_points += 1
+        if len(node.store) > 2 * self.leaf_capacity and node.depth < 16:
+            rebuilt = self._build_node(node.store.points, node.bounds, node.depth)
+            if parent is None:
+                self.root = rebuilt
+            else:
+                parent.children[branch] = rebuilt
+
+    def _make_singleton_leaf(self, point: np.ndarray, bounds: Rect, depth: int) -> _Node:
+        keys = self._node_keys(point[None, :], bounds)
+        model = self.builder.build_model(keys, point[None, :], self.build_stats)
+        node = _Node(bounds=bounds, model=model, n=1, depth=depth)
+        node.store = BlockStore(point[None, :], keys, block_size=self.block_size)
+        return node
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point_query(self, point: np.ndarray) -> bool:
+        self._check_built()
+        assert self.root is not None
+        q = np.asarray(point, dtype=np.float64)
+        node = self.root
+        self.query_stats.queries += 1
+        while True:
+            key = float(self._node_keys(q[None, :], node.bounds)[0])
+            self.query_stats.model_invocations += 1
+            if node.is_leaf:
+                assert node.store is not None
+                lo, hi = node.model.search_range(key)
+                pts, keys, _ids = node.store.scan(lo - node.inserts, hi + node.inserts)
+                self.query_stats.points_scanned += len(pts)
+                match = keys == key
+                return bool(np.any(match & np.all(pts == q, axis=1)))
+            branch = int(self._route(node.model, np.array([key]), node.n)[0])
+            child = node.children[branch]
+            if child is None:
+                return False
+            node = child
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        self._check_built()
+        assert self.root is not None
+        self.query_stats.queries += 1
+        results: list[np.ndarray] = []
+        self._window_visit(self.root, window, results)
+        if not results:
+            return np.empty((0, window.ndim))
+        return np.vstack(results)
+
+    def _window_visit(self, node: _Node, window: Rect, out: list[np.ndarray]) -> None:
+        if not node.bounds.intersects(window):
+            return
+        # Clip the window to the node's box before mapping, so corner codes
+        # stay inside the local curve's domain.
+        lo = np.maximum(window.lo_array, node.bounds.lo_array)
+        hi = np.minimum(window.hi_array, node.bounds.hi_array)
+        corners = np.vstack([lo, hi])
+        z_lo, z_hi = self._node_keys(corners, node.bounds)
+        self.query_stats.model_invocations += 2
+        if node.is_leaf:
+            assert node.store is not None
+            scan_lo, _ = node.model.search_range(float(z_lo))
+            _, scan_hi = node.model.search_range(float(z_hi))
+            pts, _keys, _ids = node.store.scan(
+                scan_lo - node.inserts, scan_hi + node.inserts
+            )
+            self.query_stats.points_scanned += len(pts)
+            if len(pts):
+                inside = pts[window.contains_points(pts)]
+                if len(inside):
+                    out.append(inside)
+            return
+        pos_lo, _ = node.model.search_range(float(z_lo))
+        _, pos_hi = node.model.search_range(float(z_hi))
+        b_lo = int(np.clip((pos_lo * self.fanout) // max(node.n, 1), 0, self.fanout - 1))
+        b_hi = int(
+            np.clip(((pos_hi - 1) * self.fanout) // max(node.n, 1), 0, self.fanout - 1)
+        )
+        for b in range(b_lo, b_hi + 1):
+            child = node.children[b]
+            if child is not None:
+                self._window_visit(child, window, out)
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        return self._knn_by_expanding_window(point, k)
+
+    def map(self, points: np.ndarray) -> np.ndarray:
+        """Global Morton keys over the root bounds (CDF tracking only;
+        per-node queries use node-local curves)."""
+        self._check_built()
+        assert self.bounds is not None
+        return self._node_keys(np.atleast_2d(np.asarray(points, dtype=np.float64)), self.bounds)
+
+    def indexed_points(self) -> np.ndarray:
+        """Every indexed point, gathered from the leaf stores."""
+        self._check_built()
+        assert self.root is not None
+        chunks: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.store is not None
+                chunks.append(node.store.points)
+            else:
+                stack.extend(c for c in node.children if c is not None)
+        return np.vstack(chunks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Maximum leaf depth (the rebuild predictor's index-depth feature)."""
+        self._check_built()
+        assert self.root is not None
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend(c for c in node.children if c is not None)
+        return best
+
+    def n_models(self) -> int:
+        """Number of learned models in the hierarchy."""
+        self._check_built()
+        assert self.root is not None
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.extend(c for c in node.children if c is not None)
+        return count
+
+    @property
+    def error_width(self) -> int:
+        """Worst leaf-model ``err_l + err_u``."""
+        self._check_built()
+        assert self.root is not None
+        worst = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            worst = max(worst, node.model.error_width)
+            if not node.is_leaf:
+                stack.extend(c for c in node.children if c is not None)
+        return worst

@@ -1,0 +1,197 @@
+"""ZM: the Z-order model index (Wang et al., MDM 2019).
+
+Map-and-sort: points map to Morton (Z-curve) codes and are stored in code
+order.  Predict-and-scan: a learned CDF (an :class:`~repro.indices.rmi.RMIModel`)
+predicts a code's storage address, and a bounded scan completes the lookup.
+
+Window queries are exact: every point inside window ``[lo, hi]`` has a
+Morton code within ``[z(lo), z(hi)]``, so scanning that code interval and
+filtering by the rectangle cannot miss results.  The scan boundaries come
+from model predictions refined by a galloping search
+(:func:`locate_rank`), keeping predict-and-scan behaviour while
+guaranteeing correctness for non-indexed boundary keys.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.indices.base import LearnedSpatialIndex, ModelBuilder
+from repro.indices.rmi import RMIModel
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import zvalues
+from repro.storage.blocks import BlockStore
+
+__all__ = ["ZMIndex", "locate_rank"]
+
+
+def locate_rank(
+    sorted_keys: np.ndarray, key: float, hint: tuple[int, int], side: str = "left"
+) -> int:
+    """Exact insertion rank of ``key``, starting from a predicted range.
+
+    ``hint`` is the model's search range.  If the true boundary lies outside
+    it (possible for keys that were never indexed, where the empirical error
+    bounds give no guarantee), the bracket grows by doubling — so the cost
+    stays proportional to the prediction error, not to ``n``.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    n = len(sorted_keys)
+    if n == 0:
+        return 0
+    lo = max(0, min(hint[0], n - 1))
+    hi = max(lo + 1, min(n, hint[1]))
+
+    # Grow the bracket downward until the boundary cannot be left of `lo`:
+    # for both sides it suffices that sorted_keys[lo - 1] < key (left) or
+    # <= key (right); use the conservative strict comparison for both.
+    step = max(1, hi - lo)
+    while lo > 0 and sorted_keys[lo - 1] >= key:
+        lo = max(0, lo - step)
+        step *= 2
+    # Grow upward until the boundary cannot be right of `hi`.
+    step = max(1, hi - lo)
+    while hi < n and (
+        sorted_keys[hi - 1] < key if side == "left" else sorted_keys[hi - 1] <= key
+    ):
+        hi = min(n, hi + step)
+        step *= 2
+    return int(lo + np.searchsorted(sorted_keys[lo:hi], key, side=side))
+
+
+class ZMIndex(LearnedSpatialIndex):
+    """The ZM learned spatial index.
+
+    Parameters
+    ----------
+    builder:
+        Model builder (OG by default; pass ELSI's build processor to get
+        the accelerated build).
+    bits:
+        Morton code resolution per dimension.
+    branching:
+        Stage-2 fan-out of the RMI (1 = a single model).
+    """
+
+    name = "ZM"
+
+    def __init__(
+        self,
+        builder: ModelBuilder | None = None,
+        block_size: int = 100,
+        bits: int = 16,
+        branching: int = 8,
+    ) -> None:
+        super().__init__(builder, block_size)
+        self.bits = bits
+        self.branching = branching
+        self.store: BlockStore | None = None
+        self.model: RMIModel | None = None
+        #: Built-in insertions since the build; scan ranges widen by this
+        #: count to keep predict-and-scan correct without retraining.
+        self._native_inserts = 0
+
+    # ------------------------------------------------------------------
+    def map(self, points: np.ndarray) -> np.ndarray:
+        """The base index's ``map()``: Morton codes as float keys."""
+        self._check_built()
+        assert self.bounds is not None
+        return zvalues(points, self.bounds, self.bits).astype(np.float64)
+
+    def build(self, points: np.ndarray) -> "ZMIndex":
+        pts = self._prepare_points(points)
+        started = time.perf_counter()
+        self.bounds = Rect.bounding(pts)
+        self.n_points = len(pts)
+        keys = zvalues(pts, self.bounds, self.bits).astype(np.float64)
+        self.store = BlockStore(pts, keys, block_size=self.block_size)
+        self.build_stats.prepare_seconds += time.perf_counter() - started
+
+        self.model = RMIModel(self.builder, branching=self.branching)
+        self.model.fit(
+            self.store.keys, self.store.points, self.build_stats, map_fn=self.map
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> None:
+        self._check_built()
+        assert self.store is not None
+        q = np.asarray(point, dtype=np.float64)
+        key = float(self.map(q[None, :])[0])
+        self.store.insert(q, key)
+        self._native_inserts += 1
+        self.n_points += 1
+
+    def point_query(self, point: np.ndarray) -> bool:
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        q = np.asarray(point, dtype=np.float64)
+        key = float(self.map(q[None, :])[0])
+        lo, hi = self.model.search_range(key)
+        lo -= self._native_inserts
+        hi += self._native_inserts
+        pts, keys, _ids = self.store.scan(lo, hi)
+        self.query_stats.queries += 1
+        self.query_stats.model_invocations += 1
+        self.query_stats.points_scanned += len(pts)
+        match = keys == key
+        return bool(np.any(match & np.all(pts == q, axis=1)))
+
+    def window_query(self, window: Rect) -> np.ndarray:
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        corners = np.vstack([window.lo_array, window.hi_array])
+        z_lo, z_hi = self.map(corners)
+        lo = locate_rank(self.store.keys, z_lo, self.model.search_range(z_lo), "left")
+        hi = locate_rank(self.store.keys, z_hi, self.model.search_range(z_hi), "right")
+        pts, _keys, _ids = self.store.scan(lo, hi)
+        self.query_stats.queries += 1
+        self.query_stats.model_invocations += 2
+        self.query_stats.points_scanned += len(pts)
+        if len(pts) == 0:
+            return pts
+        return pts[window.contains_points(pts)]
+
+    @staticmethod
+    def _key_matches(candidate_keys: np.ndarray, key: float) -> np.ndarray:
+        return candidate_keys == key
+
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised batch lookup: one model forward pass for all keys."""
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        keys = np.asarray(self.map(pts), dtype=np.float64)
+        lo, hi = self.model.search_ranges(keys)
+        lo = np.maximum(lo - self._native_inserts, 0)
+        hi = hi + self._native_inserts
+        out = np.empty(len(pts), dtype=bool)
+        self.query_stats.queries += len(pts)
+        self.query_stats.model_invocations += len(pts)
+        for i in range(len(pts)):
+            cand, cand_keys, _ids = self.store.scan(int(lo[i]), int(hi[i]))
+            self.query_stats.points_scanned += len(cand)
+            match = self._key_matches(cand_keys, keys[i])
+            out[i] = bool(np.any(match & np.all(cand == pts[i], axis=1)))
+        return out
+
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        return self._knn_by_expanding_window(point, k)
+
+    def indexed_points(self) -> np.ndarray:
+        """Every indexed point in storage (key) order."""
+        self._check_built()
+        assert self.store is not None
+        return self.store.points
+
+    # ------------------------------------------------------------------
+    @property
+    def error_width(self) -> int:
+        """Worst-model ``err_l + err_u`` (Table I)."""
+        self._check_built()
+        assert self.model is not None
+        return self.model.max_error_width

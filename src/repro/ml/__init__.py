@@ -1,0 +1,34 @@
+"""Machine-learning substrate for ELSI.
+
+The paper implements all prediction models as small feed-forward networks
+(FFNs) trained with Adam on an L2 loss (Section VII-B1).  PyTorch is not
+available in this environment, so this package provides an equivalent
+pure-NumPy stack:
+
+- :mod:`repro.ml.ffn` — feed-forward networks with ReLU hidden layers,
+- :mod:`repro.ml.adam` — the Adam optimizer,
+- :mod:`repro.ml.trainer` — batch training loops,
+- :mod:`repro.ml.dqn` — a deep Q-network for the RL build method,
+- :mod:`repro.ml.tree` / :mod:`repro.ml.forest` — CART decision trees and
+  random forests used as method-selector baselines in Figure 6(b).
+"""
+
+from repro.ml.adam import Adam
+from repro.ml.dqn import DQNAgent, ReplayBuffer
+from repro.ml.ffn import FFN
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.trainer import TrainConfig, train_regressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "Adam",
+    "DQNAgent",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "FFN",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "ReplayBuffer",
+    "TrainConfig",
+    "train_regressor",
+]

@@ -1,0 +1,71 @@
+"""The Adam optimizer (Kingma & Ba), used for all FFN training in ELSI.
+
+The paper trains every FFN with Adam at a learning rate of 0.01
+(Section VII-B1); those are the defaults here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam over a fixed list of parameter arrays (updated in place).
+
+    Parameters
+    ----------
+    params:
+        The arrays to optimise.  They are mutated in place by :meth:`step`
+        so that the owning model sees the updates directly.
+    lr, beta1, beta2, eps:
+        Standard Adam hyperparameters; ``lr=0.01`` per the paper.
+    """
+
+    def __init__(
+        self,
+        params: list[np.ndarray],
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {beta1}, {beta2}")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one Adam update given gradients aligned with ``params``."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        """Clear the optimizer state (moments and step counter)."""
+        for m in self._m:
+            m.fill(0.0)
+        for v in self._v:
+            v.fill(0.0)
+        self._t = 0

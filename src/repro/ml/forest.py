@@ -1,0 +1,116 @@
+"""Random forests (bagged CART trees) for the Figure 6(b) selector baselines.
+
+RFR (regression) averages tree predictions; RFC (classification) averages
+class-probability vectors.  Both use bootstrap resampling and per-split
+feature subsampling (sqrt of the feature count by default), matching the
+standard Breiman construction that scikit-learn implements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
+
+class _BaseForest:
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list = []
+
+    def _make_tree(self, max_features: int, seed: int):  # pragma: no cover
+        raise NotImplementedError
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_BaseForest":
+        """Fit ``n_estimators`` trees on bootstrap resamples of (x, y)."""
+        x2 = np.asarray(x, dtype=np.float64)
+        if x2.ndim == 1:
+            x2 = x2[:, None]
+        y2 = np.asarray(y)
+        if len(x2) == 0:
+            raise ValueError("cannot fit a forest on an empty data set")
+        n, n_features = x2.shape
+        max_features = self.max_features or max(1, int(np.sqrt(n_features)))
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = self._make_tree(max_features, seed=self.seed + i + 1)
+            tree.fit(x2[idx], y2[idx])
+            self.trees.append(tree)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+
+
+class RandomForestRegressor(_BaseForest):
+    """Bagging ensemble of :class:`DecisionTreeRegressor` (RFR in Fig. 6b)."""
+
+    def _make_tree(self, max_features: int, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            seed=seed,
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Mean of per-tree predictions."""
+        self._check_fitted()
+        return np.mean([tree.predict(x) for tree in self.trees], axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Bagging ensemble of :class:`DecisionTreeClassifier` (RFC in Fig. 6b)."""
+
+    def _make_tree(self, max_features: int, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            seed=seed,
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        y2 = np.asarray(y)
+        self.classes_ = np.unique(y2)
+        super().fit(x, y2)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Average of per-tree class-probability vectors over ``classes_``."""
+        self._check_fitted()
+        # Trees may see different class subsets in their bootstrap samples;
+        # align every tree's probabilities to the forest-level class list.
+        x2 = np.asarray(x, dtype=np.float64)
+        if x2.ndim == 1:
+            x2 = x2[:, None]
+        total = np.zeros((len(x2), len(self.classes_)))
+        class_pos = {c: i for i, c in enumerate(self.classes_.tolist())}
+        for tree in self.trees:
+            proba = tree.predict_proba(x2)
+            for j, c in enumerate(tree.classes_.tolist()):
+                total[:, class_pos[c]] += proba[:, j]
+        return total / len(self.trees)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class under the averaged probabilities."""
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,256 @@
+"""CART decision trees (regression and classification), from scratch.
+
+Figure 6(b) of the paper compares ELSI's FFN method selector against
+decision-tree and random-forest selectors, in regression (DTR/RFR) and
+classification (DTC/RFC) variants.  scikit-learn is not available offline,
+so this module implements the CART algorithm directly: greedy binary splits
+minimising MSE (regression) or Gini impurity (classification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature is None``."""
+
+    value: np.ndarray | float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _best_split_mse(
+    x: np.ndarray, y: np.ndarray, features: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, score) split by MSE reduction, or None.
+
+    Uses prefix sums over sorted feature values so each feature costs
+    O(n log n).  The returned score is the *weighted child impurity*; lower
+    is better.
+    """
+    n = len(y)
+    best: tuple[int, float, float] | None = None
+    y_sum = y.sum()
+    y_sq = (y * y).sum()
+    for f in features:
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order, f]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys * ys)
+        # Candidate split after position i (left = [0..i]); need distinct values.
+        idx = np.arange(min_leaf - 1, n - min_leaf)
+        if len(idx) == 0:
+            continue
+        valid = xs[idx] < xs[idx + 1]
+        idx = idx[valid]
+        if len(idx) == 0:
+            continue
+        n_left = idx + 1.0
+        n_right = n - n_left
+        sse_left = csq[idx] - csum[idx] ** 2 / n_left
+        sum_right = y_sum - csum[idx]
+        sse_right = (y_sq - csq[idx]) - sum_right**2 / n_right
+        scores = sse_left + sse_right
+        i = int(np.argmin(scores))
+        if best is None or scores[i] < best[2]:
+            pos = idx[i]
+            threshold = 0.5 * (xs[pos] + xs[pos + 1])
+            best = (int(f), float(threshold), float(scores[i]))
+    return best
+
+
+def _best_split_gini(
+    x: np.ndarray, y: np.ndarray, n_classes: int, features: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, score) split by weighted Gini impurity."""
+    n = len(y)
+    onehot = np.zeros((n, n_classes))
+    onehot[np.arange(n), y] = 1.0
+    best: tuple[int, float, float] | None = None
+    total = onehot.sum(axis=0)
+    for f in features:
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order, f]
+        counts = np.cumsum(onehot[order], axis=0)
+        idx = np.arange(min_leaf - 1, n - min_leaf)
+        if len(idx) == 0:
+            continue
+        valid = xs[idx] < xs[idx + 1]
+        idx = idx[valid]
+        if len(idx) == 0:
+            continue
+        left = counts[idx]
+        right = total - left
+        n_left = left.sum(axis=1)
+        n_right = right.sum(axis=1)
+        gini_left = n_left - (left**2).sum(axis=1) / n_left
+        gini_right = n_right - (right**2).sum(axis=1) / n_right
+        scores = gini_left + gini_right
+        i = int(np.argmin(scores))
+        if best is None or scores[i] < best[2]:
+            pos = idx[i]
+            threshold = 0.5 * (xs[pos] + xs[pos + 1])
+            best = (int(f), float(threshold), float(scores[i]))
+    return best
+
+
+class _BaseTree:
+    """Shared fit/predict plumbing for the two CART variants."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("min_samples_leaf >= 1 and min_samples_split >= 2")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _leaf_value(self, y: np.ndarray):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _split(self, x, y, features):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y))
+        if depth >= self.max_depth or len(y) < self.min_samples_split:
+            return node
+        if np.all(y == y[0]):
+            return node
+        split = self._split(x, y, self._candidate_features(x.shape[1]))
+        if split is None:
+            return node
+        feature, threshold, _score = split
+        mask = x[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "_BaseTree":
+        """Grow the tree on (x, y).  Returns self for chaining."""
+        x2 = np.asarray(x, dtype=np.float64)
+        if x2.ndim == 1:
+            x2 = x2[:, None]
+        y2 = self._prepare_targets(np.asarray(y))
+        if len(x2) == 0:
+            raise ValueError("cannot fit a tree on an empty data set")
+        if len(x2) != len(y2):
+            raise ValueError(f"x has {len(x2)} rows but y has {len(y2)}")
+        self.n_features_ = x2.shape[1]
+        self._root = self._grow(x2, y2, depth=0)
+        return self
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _predict_row(self, row: np.ndarray):
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.value
+
+    def depth(self) -> int:
+        """Maximum depth of the grown tree (0 for a single leaf)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimising within-leaf squared error."""
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray(y, dtype=np.float64).ravel()
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(np.mean(y))
+
+    def _split(self, x, y, features):
+        return _best_split_mse(x, y, features, self.min_samples_leaf)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted mean target for each row of ``x``."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x2 = np.asarray(x, dtype=np.float64)
+        if x2.ndim == 1:
+            x2 = x2[:, None]
+        return np.array([self._predict_row(row) for row in x2])
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classification tree minimising Gini impurity."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.classes_: np.ndarray | None = None
+
+    def _prepare_targets(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        assert self.classes_ is not None
+        counts = np.bincount(y, minlength=len(self.classes_))
+        return counts / counts.sum()
+
+    def _split(self, x, y, features):
+        assert self.classes_ is not None
+        return _best_split_gini(x, y, len(self.classes_), features, self.min_samples_leaf)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class-probability matrix, one row per input row."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x2 = np.asarray(x, dtype=np.float64)
+        if x2.ndim == 1:
+            x2 = x2[:, None]
+        return np.stack([self._predict_row(row) for row in x2])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class label for each row of ``x``."""
+        assert self.classes_ is not None or self._root is None
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]

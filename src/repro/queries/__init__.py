@@ -1,0 +1,34 @@
+"""Query workloads and evaluation.
+
+- :mod:`repro.queries.types` — point/window/kNN query values,
+- :mod:`repro.queries.workload` — generators following the data
+  distribution (Section VII-G: 1 000 windows at a fraction of the data
+  space, kNN with k = 25),
+- :mod:`repro.queries.evaluate` — brute-force ground truth and recall.
+"""
+
+from repro.queries.evaluate import (
+    brute_force_knn,
+    brute_force_window,
+    knn_recall,
+    window_recall,
+)
+from repro.queries.types import KNNQuery, PointQuery, WindowQuery
+from repro.queries.workload import (
+    knn_workload,
+    point_workload,
+    window_workload,
+)
+
+__all__ = [
+    "KNNQuery",
+    "PointQuery",
+    "WindowQuery",
+    "brute_force_knn",
+    "brute_force_window",
+    "knn_recall",
+    "knn_workload",
+    "point_workload",
+    "window_recall",
+    "window_workload",
+]

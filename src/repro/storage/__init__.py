@@ -1,0 +1,10 @@
+"""Block storage substrate.
+
+All indices in the paper store points in fixed-size blocks (B = 100 points,
+Section VII-B1) — traditional indices as tree leaves or grid cells, learned
+indices as the sorted address space that predict-and-scan ranges over.
+"""
+
+from repro.storage.blocks import BlockStore
+
+__all__ = ["BlockStore"]

@@ -1,0 +1,162 @@
+"""Index persistence: save a built learned index to disk and load it back.
+
+A production system rebuilds rarely (the whole point of ELSI) and reopens
+often, so built indices must round-trip through storage.  Persistence
+covers the store-based indices (ZM, ML-Index, LISA, Flood) whose state is
+a block store plus trained models; RSMI's recursive structure is saved by
+flattening its node tree.
+
+Format: a single ``.npz`` with JSON-encoded structural metadata and numpy
+arrays for points/keys/model weights.  FFN and PLA model states are both
+supported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.indices.base import TrainedModel
+from repro.indices.rmi import RMIModel
+from repro.indices.zm import ZMIndex
+from repro.ml.ffn import FFN
+from repro.ml.pla import PiecewiseLinearModel, _Segment
+from repro.spatial.rect import Rect
+from repro.storage.blocks import BlockStore
+
+__all__ = ["load_zm_index", "save_zm_index"]
+
+
+def _model_payload(model: TrainedModel, prefix: str, arrays: dict) -> dict:
+    """Serialise one TrainedModel; weights go to ``arrays`` under ``prefix``."""
+    meta = {
+        "key_lo": model.key_lo,
+        "key_hi": model.key_hi,
+        "n_indexed": model.n_indexed,
+        "method_name": model.method_name,
+        "train_set_size": model.train_set_size,
+        "err_l": model.err_l,
+        "err_u": model.err_u,
+    }
+    net = model.net
+    if isinstance(net, FFN):
+        meta["net_type"] = "ffn"
+        meta["layer_sizes"] = net.layer_sizes
+        for name, value in net.state_dict().items():
+            arrays[f"{prefix}.{name}"] = value
+    elif isinstance(net, PiecewiseLinearModel):
+        meta["net_type"] = "pla"
+        meta["epsilon"] = net.epsilon
+        arrays[f"{prefix}.starts"] = net._starts
+        arrays[f"{prefix}.slopes"] = net._slopes
+        arrays[f"{prefix}.intercepts"] = net._intercepts
+    else:
+        raise TypeError(f"cannot persist model net of type {type(net).__name__}")
+    return meta
+
+
+def _model_from_payload(meta: dict, prefix: str, arrays) -> TrainedModel:
+    if meta["net_type"] == "ffn":
+        net = FFN(list(meta["layer_sizes"]))
+        state = {}
+        for i in range(net.n_layers):
+            state[f"w{i}"] = arrays[f"{prefix}.w{i}"]
+            state[f"b{i}"] = arrays[f"{prefix}.b{i}"]
+        net.load_state_dict(state)
+    elif meta["net_type"] == "pla":
+        segments = [
+            _Segment(start=float(s), slope=float(m), intercept=float(b))
+            for s, m, b in zip(
+                arrays[f"{prefix}.starts"],
+                arrays[f"{prefix}.slopes"],
+                arrays[f"{prefix}.intercepts"],
+            )
+        ]
+        net = PiecewiseLinearModel(segments, epsilon=meta["epsilon"])
+    else:
+        raise ValueError(f"unknown net type {meta['net_type']!r}")
+    model = TrainedModel(
+        net=net,
+        key_lo=meta["key_lo"],
+        key_hi=meta["key_hi"],
+        n_indexed=meta["n_indexed"],
+        method_name=meta["method_name"],
+        train_set_size=meta["train_set_size"],
+    )
+    model.err_l = meta["err_l"]
+    model.err_u = meta["err_u"]
+    return model
+
+
+def save_zm_index(index: ZMIndex, path: str | Path) -> None:
+    """Persist a built ZM index to ``path`` (.npz)."""
+    if index.store is None or index.model is None or index.bounds is None:
+        raise ValueError("the index must be built before saving")
+    arrays: dict[str, np.ndarray] = {
+        "points": index.store.points,
+        "keys": index.store.keys,
+        "ids": index.store.ids,
+    }
+    meta = {
+        "format": "repro-zm-v1",
+        "bits": index.bits,
+        "block_size": index.block_size,
+        "branching": index.branching,
+        "n_points": index.n_points,
+        "bounds_lo": list(index.bounds.lo),
+        "bounds_hi": list(index.bounds.hi),
+        "native_inserts": index._native_inserts,
+        "stage1": _model_payload(index.model.stage1, "m0", arrays),
+        "stage2": [],
+        "stage2_positions": [],
+        "rmi_n": index.model.n,
+    }
+    for i, model in enumerate(index.model.stage2):
+        if model is index.model.stage1:
+            meta["stage2"].append(None)
+        else:
+            meta["stage2"].append(_model_payload(model, f"m{i + 1}", arrays))
+        arrays[f"pos{i}"] = index.model._stage2_positions[i]
+        meta["stage2_positions"].append(f"pos{i}")
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_zm_index(path: str | Path) -> ZMIndex:
+    """Load a ZM index saved by :func:`save_zm_index`; queryable immediately."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        if meta.get("format") != "repro-zm-v1":
+            raise ValueError(f"not a repro ZM index file: {path}")
+        index = ZMIndex(
+            block_size=meta["block_size"],
+            bits=meta["bits"],
+            branching=meta["branching"],
+        )
+        index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
+        index.n_points = meta["n_points"]
+        index._native_inserts = meta["native_inserts"]
+        # Rebuild the store without re-sorting (arrays are already sorted).
+        store = BlockStore.__new__(BlockStore)
+        store.points = data["points"]
+        store.keys = data["keys"]
+        store.ids = data["ids"]
+        store.block_size = meta["block_size"]
+        store._reads = 0
+        index.store = store
+
+        rmi = RMIModel(index.builder, branching=meta["branching"])
+        rmi.n = meta["rmi_n"]
+        rmi.stage1 = _model_from_payload(meta["stage1"], "m0", data)
+        rmi.stage2 = []
+        rmi._stage2_positions = []
+        for i, payload in enumerate(meta["stage2"]):
+            if payload is None:
+                rmi.stage2.append(rmi.stage1)
+            else:
+                rmi.stage2.append(_model_from_payload(payload, f"m{i + 1}", data))
+            rmi._stage2_positions.append(data[meta["stage2_positions"][i]])
+        index.model = rmi
+    return index

@@ -1,0 +1,55 @@
+"""Shared fixtures: small data sets and fast-training builders.
+
+Tests run at reduced scale (n ~ 1-3k, ~100 epochs); correctness properties
+(predict-and-scan guarantees, exactness, invariants) are scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.data import load_dataset
+from repro.indices.base import OriginalBuilder
+from repro.ml.trainer import TrainConfig
+
+
+@pytest.fixture(scope="session")
+def osm_points() -> np.ndarray:
+    """A 2 000-point OSM1-like data set shared across tests."""
+    return load_dataset("OSM1", 2_000)
+
+
+@pytest.fixture(scope="session")
+def skewed_points() -> np.ndarray:
+    return load_dataset("Skewed", 2_000)
+
+
+@pytest.fixture(scope="session")
+def uniform_points() -> np.ndarray:
+    return load_dataset("Uniform", 2_000)
+
+
+@pytest.fixture()
+def fast_config() -> ELSIConfig:
+    """An ELSI configuration tuned for test speed."""
+    return ELSIConfig(train_epochs=100, rl_steps=50, hidden_size=16)
+
+
+@pytest.fixture()
+def fast_train_config() -> TrainConfig:
+    return TrainConfig(epochs=100)
+
+
+@pytest.fixture()
+def og_builder(fast_train_config) -> OriginalBuilder:
+    """The no-ELSI (full-data) model builder with fast training."""
+    return OriginalBuilder(train_config=fast_train_config)
+
+
+@pytest.fixture()
+def sp_builder(fast_config) -> ELSIModelBuilder:
+    """An ELSI builder fixed to the SP method (fast, always applicable)."""
+    return ELSIModelBuilder(fast_config, method="SP")

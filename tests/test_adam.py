@@ -1,0 +1,67 @@
+"""Unit tests for the Adam optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adam import Adam
+
+
+def test_minimises_quadratic():
+    # f(x) = (x - 3)^2, gradient 2(x - 3).
+    x = np.array([0.0])
+    opt = Adam([x], lr=0.05)
+    for _ in range(500):
+        opt.step([2.0 * (x - 3.0)])
+    assert x[0] == pytest.approx(3.0, abs=1e-2)
+
+
+def test_updates_in_place():
+    x = np.array([1.0])
+    ref = x
+    Adam([x], lr=0.1).step([np.array([1.0])])
+    assert ref is x
+    assert x[0] != 1.0
+
+
+def test_first_step_size_is_lr():
+    # With bias correction, the first Adam step has magnitude ~lr.
+    x = np.array([0.0])
+    Adam([x], lr=0.01).step([np.array([123.0])])
+    assert abs(x[0]) == pytest.approx(0.01, rel=1e-3)
+
+
+def test_gradient_count_mismatch_rejected():
+    x = np.array([0.0])
+    opt = Adam([x])
+    with pytest.raises(ValueError):
+        opt.step([np.array([1.0]), np.array([1.0])])
+
+
+def test_invalid_hyperparameters_rejected():
+    with pytest.raises(ValueError):
+        Adam([np.array([0.0])], lr=-1.0)
+    with pytest.raises(ValueError):
+        Adam([np.array([0.0])], beta1=1.0)
+
+
+def test_reset_clears_state():
+    x = np.array([0.0])
+    opt = Adam([x], lr=0.01)
+    opt.step([np.array([1.0])])
+    opt.reset()
+    assert opt._t == 0
+    x2 = np.array([0.0])
+    opt2 = Adam([x2], lr=0.01)
+    opt.params = [x2]  # reuse the optimizer on a fresh parameter
+    opt.step([np.array([1.0])])
+    opt2.step([np.array([1.0])])
+    assert x2[0] != 0.0
+
+
+def test_multiple_parameter_arrays():
+    a = np.zeros((2, 2))
+    b = np.zeros(3)
+    opt = Adam([a, b], lr=0.1)
+    opt.step([np.ones((2, 2)), np.ones(3)])
+    assert np.all(a != 0.0)
+    assert np.all(b != 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the batch point-query API (vectorised lookups)."""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import LISAIndex, MLIndex, RSMIIndex, ZMIndex
+
+
+@pytest.fixture(scope="module")
+def indices(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    built = {}
+    for cls in (ZMIndex, MLIndex, RSMIIndex, LISAIndex):
+        built[cls.name] = cls(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points
+        )
+    return built
+
+
+@pytest.mark.parametrize("name", ["ZM", "ML", "RSMI", "LISA"])
+def test_batch_matches_scalar(indices, osm_points, name):
+    index = indices[name]
+    rng = np.random.default_rng(0)
+    batch = np.vstack([osm_points[:200], rng.random((50, 2)) + 1.5])
+    got = index.point_queries(batch)
+    expected = np.array([index.point_query(p) for p in batch])
+    np.testing.assert_array_equal(got, expected)
+
+
+@pytest.mark.parametrize("name", ["ZM", "ML"])
+def test_vectorised_path_all_hits_and_misses(indices, osm_points, name):
+    index = indices[name]
+    hits = index.point_queries(osm_points[:300])
+    assert hits.all()
+    misses = index.point_queries(osm_points[:50] + 2.0)
+    assert not misses.any()
+
+
+def test_batch_on_two_stage_rmi(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    index = ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=4
+    ).build(osm_points)
+    got = index.point_queries(osm_points[:200])
+    assert got.all()
+
+
+def test_search_ranges_match_scalar(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    index = ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=4
+    ).build(osm_points)
+    keys = index.store.keys[::37]
+    lo, hi = index.model.search_ranges(keys)
+    for i, key in enumerate(keys):
+        s_lo, s_hi = index.model.search_range(float(key))
+        assert lo[i] == s_lo
+        assert hi[i] == s_hi
+
+
+def test_batch_after_native_inserts(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+    extra = np.random.default_rng(1).random((40, 2))
+    for p in extra:
+        index.insert(p)
+    assert index.point_queries(extra).all()
+
+
+def test_single_row_batch(indices, osm_points):
+    index = indices["ZM"]
+    assert index.point_queries(osm_points[0]).shape == (1,)

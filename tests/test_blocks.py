@@ -1,0 +1,98 @@
+"""Unit tests for block storage."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blocks import BlockStore
+
+
+@pytest.fixture()
+def store():
+    rng = np.random.default_rng(0)
+    pts = rng.random((250, 2))
+    keys = rng.random(250)
+    return BlockStore(pts, keys, block_size=50), pts, keys
+
+
+def test_sorted_by_key(store):
+    s, _pts, _keys = store
+    assert np.all(np.diff(s.keys) >= 0)
+
+
+def test_points_follow_keys(store):
+    s, pts, keys = store
+    order = np.argsort(keys, kind="stable")
+    np.testing.assert_array_equal(s.points, pts[order])
+    np.testing.assert_array_equal(s.ids, order)
+
+
+def test_n_blocks(store):
+    s, _, _ = store
+    assert s.n_blocks == 5
+
+
+def test_scan_clipping(store):
+    s, _, _ = store
+    pts, keys, ids = s.scan(-10, 10_000)
+    assert len(pts) == 250
+    pts, keys, ids = s.scan(200, 100)
+    assert len(pts) == 0
+
+
+def test_scan_key_range_inclusive(store):
+    s, _, _ = store
+    pts, keys, _ids = s.scan_key_range(0.25, 0.75)
+    assert np.all((keys >= 0.25) & (keys <= 0.75))
+    # Every qualifying key is returned.
+    assert len(keys) == int(((s.keys >= 0.25) & (s.keys <= 0.75)).sum())
+
+
+def test_block_reads_accounting(store):
+    s, _, _ = store
+    s.reset_block_reads()
+    s.scan(0, 50)  # exactly one block
+    assert s.block_reads == 1
+    s.scan(49, 51)  # straddles two blocks
+    assert s.block_reads == 3
+    s.scan(10, 10)  # empty
+    assert s.block_reads == 3
+
+
+def test_rank_of_key(store):
+    s, _, _ = store
+    key = s.keys[100]
+    assert s.keys[s.rank_of_key(key)] == key
+
+
+def test_block_of(store):
+    s, _, _ = store
+    assert s.block_of(0) == 0
+    assert s.block_of(50) == 1
+    with pytest.raises(IndexError):
+        s.block_of(250)
+
+
+def test_duplicate_keys_kept():
+    pts = np.array([[0.1, 0.1], [0.2, 0.2], [0.3, 0.3]])
+    keys = np.array([5.0, 5.0, 5.0])
+    s = BlockStore(pts, keys)
+    scanned, _, _ = s.scan_key_range(5.0, 5.0)
+    assert len(scanned) == 3
+
+
+def test_invalid_inputs():
+    pts = np.zeros((3, 2))
+    with pytest.raises(ValueError):
+        BlockStore(pts, np.zeros(2))
+    with pytest.raises(ValueError):
+        BlockStore(pts, np.zeros(3), block_size=0)
+    with pytest.raises(ValueError):
+        BlockStore(pts, np.zeros(3), ids=np.zeros(2, dtype=np.int64))
+
+
+def test_custom_ids():
+    pts = np.array([[0.2, 0.2], [0.1, 0.1]])
+    keys = np.array([2.0, 1.0])
+    ids = np.array([70, 71])
+    s = BlockStore(pts, keys, ids=ids)
+    np.testing.assert_array_equal(s.ids, [71, 70])

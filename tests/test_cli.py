@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.n == 10_000
+
+    def test_build_choices(self):
+        args = build_parser().parse_args(
+            ["build", "--index", "LISA", "--dataset", "NYC", "--method", "SP"]
+        )
+        assert args.index == "LISA"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--index", "Nope"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--n", "500"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Uniform", "Skewed", "OSM1", "OSM2", "TPC-H", "NYC"):
+            assert name in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "bench_table1_costs.py" in out
+
+    def test_build_learned(self, capsys):
+        code = main(
+            ["build", "--index", "ZM", "--dataset", "OSM1",
+             "--method", "SP", "--n", "800", "--epochs", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cost decomposition" in out
+        assert "methods: {'SP'" in out
+
+    def test_build_traditional(self, capsys):
+        assert main(["build", "--index", "KDB", "--dataset", "Uniform", "--n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "built KDB" in out
+
+    def test_query_command(self, capsys):
+        code = main(
+            ["query", "--index", "LISA", "--dataset", "NYC",
+             "--method", "SP", "--n", "800", "--epochs", "50", "--queries", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "point" in out and "window" in out and "kNN" in out
+        assert "40/40 found" in out
+
+    def test_query_flood(self, capsys):
+        code = main(
+            ["query", "--index", "Flood", "--dataset", "OSM1",
+             "--method", "SP", "--n", "800", "--epochs", "50", "--queries", "30"]
+        )
+        assert code == 0
+        assert "30/30 found" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Unit tests for the Section VI cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ELSIConfig
+from repro.core.costs import CostModel
+
+
+@pytest.fixture()
+def model():
+    return CostModel(n=100_000, d=2, config=ELSIConfig(rho=0.001, n_clusters=100, beta=1_000, eta=8))
+
+
+class TestTrainSetSizes:
+    def test_sp(self, model):
+        assert model.train_set_size("SP") == 100
+
+    def test_cl(self, model):
+        assert model.train_set_size("CL") == 100
+
+    def test_mr_trains_nothing(self, model):
+        assert model.train_set_size("MR") == 0
+
+    def test_rs(self, model):
+        assert model.train_set_size("RS") == 100
+
+    def test_rl(self, model):
+        assert model.train_set_size("RL") == 64
+
+    def test_og(self, model):
+        assert model.train_set_size("OG") == 100_000
+
+    def test_all_reductions_much_smaller_than_og(self, model):
+        """|D_S| << |D| — the Definition 1 requirement."""
+        for method in ("SP", "CL", "MR", "RS", "RL"):
+            assert model.train_set_size(method) <= model.n // 100
+
+    def test_unknown_method(self, model):
+        with pytest.raises(ValueError):
+            model.train_set_size("XX")
+
+
+class TestExtraOperations:
+    def test_cl_dominates(self, model):
+        """The O(C n d i) clustering term dwarfs every other method's extra
+        cost — why CL sits at the slow end of Figure 7 and Table I."""
+        cl = model.extra_operations("CL")
+        for method in ("SP", "MR", "RS", "RL"):
+            assert cl > model.extra_operations(method)
+
+    def test_og_free(self, model):
+        assert model.extra_operations("OG") == 0.0
+
+    def test_sp_linear_in_rho(self):
+        small = CostModel(10_000, config=ELSIConfig(rho=0.001)).extra_operations("SP")
+        large = CostModel(10_000, config=ELSIConfig(rho=0.01)).extra_operations("SP")
+        assert large == pytest.approx(10 * small)
+
+    def test_rs_superlinear_in_n(self):
+        a = CostModel(10_000).extra_operations("RS")
+        b = CostModel(100_000).extra_operations("RS")
+        assert b > 10 * a  # n log n growth
+
+
+class TestFormulas:
+    def test_table1_rows(self, model):
+        rows = {m: model.method_cost(m) for m in ("SP", "CL", "MR", "RS", "RL", "OG")}
+        assert rows["SP"].training_formula == "T(rho*n) + M(n)"
+        assert rows["MR"].training_formula == "M(n)"
+        assert rows["OG"].extra_formula == "0"
+        assert "eta" in rows["RL"].training_formula
+
+    def test_query_operations(self, model):
+        assert model.query_operations(10, 20) == 31.0
+        with pytest.raises(ValueError):
+            model.query_operations(-1, 0)
+
+    def test_data_preparation(self, model):
+        ops = model.data_preparation_operations()
+        assert ops == pytest.approx(100_000 * 2 + 100_000 * np.log2(100_000))
+
+    def test_update_operations_logarithmic(self, model):
+        assert model.update_operations(1_024) == pytest.approx(10.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CostModel(0)
+        with pytest.raises(ValueError):
+            CostModel(10, d=1)

@@ -1,0 +1,102 @@
+"""Unit tests for the replay buffer and DQN agent."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dqn import DQNAgent, DQNConfig, ReplayBuffer, Transition
+
+
+def _transition(i: int, size: int = 4) -> Transition:
+    state = np.zeros(size)
+    state[i % size] = 1.0
+    return Transition(state=state, action=i % size, reward=float(i), next_state=state)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(capacity=10)
+        for i in range(5):
+            buf.push(_transition(i))
+        assert len(buf) == 5
+
+    def test_capacity_eviction(self):
+        buf = ReplayBuffer(capacity=3)
+        for i in range(7):
+            buf.push(_transition(i))
+        assert len(buf) == 3
+        rewards = {t.reward for t in buf.sample_recent(3)}
+        assert rewards == {4.0, 5.0, 6.0}
+
+    def test_sample_recent_order(self):
+        buf = ReplayBuffer(capacity=5)
+        for i in range(5):
+            buf.push(_transition(i))
+        recent = buf.sample_recent(3)
+        assert [t.reward for t in recent] == [2.0, 3.0, 4.0]
+
+    def test_sample_recent_wraparound(self):
+        buf = ReplayBuffer(capacity=4)
+        for i in range(6):
+            buf.push(_transition(i))
+        recent = buf.sample_recent(2)
+        assert [t.reward for t in recent] == [4.0, 5.0]
+
+    def test_uniform_sample_no_replacement(self):
+        buf = ReplayBuffer(capacity=10, seed=0)
+        for i in range(10):
+            buf.push(_transition(i))
+        sample = buf.sample(10)
+        assert len({t.reward for t in sample}) == 10
+
+    def test_sample_from_empty(self):
+        assert ReplayBuffer().sample(5) == []
+        assert ReplayBuffer().sample_recent(5) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+
+class TestDQNAgent:
+    def test_action_in_range(self):
+        agent = DQNAgent(state_size=6, n_actions=6, seed=0)
+        for _ in range(50):
+            a = agent.select_action(np.ones(6))
+            assert 0 <= a < 6
+
+    def test_epsilon_decays(self):
+        agent = DQNAgent(4, 4, DQNConfig(epsilon=0.5, epsilon_decay=0.9))
+        start = agent.epsilon
+        for i in range(30):
+            agent.observe(_transition(i))
+        assert agent.epsilon < start
+        assert agent.epsilon >= agent.config.epsilon_min
+
+    def test_trains_on_schedule(self):
+        agent = DQNAgent(4, 4, DQNConfig(train_every=5))
+        losses = [agent.observe(_transition(i)) for i in range(10)]
+        # Losses returned exactly at steps 5 and 10.
+        trained = [i for i, loss in enumerate(losses) if loss is not None]
+        assert trained == [4, 9]
+
+    def test_learns_to_prefer_rewarding_action(self):
+        # Action 0 always yields reward 1, others 0: Q(s, 0) should win.
+        agent = DQNAgent(
+            2,
+            2,
+            DQNConfig(epsilon=1.0, epsilon_decay=0.95, epsilon_min=0.0, train_every=2),
+            seed=0,
+        )
+        state = np.array([1.0, 0.0])
+        for _ in range(300):
+            action = agent.select_action(state)
+            reward = 1.0 if action == 0 else 0.0
+            agent.observe(Transition(state, action, reward, state))
+        q = agent.q_network.forward(state[None, :])[0]
+        assert q[0] > q[1]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            DQNAgent(0, 2)
+        with pytest.raises(ValueError):
+            DQNAgent(2, 0)

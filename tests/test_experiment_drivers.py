@@ -1,0 +1,90 @@
+"""Tiny-scale structural tests for the experiment drivers.
+
+The benchmark suite exercises the drivers at full scale; these tests pin
+their *contracts* (keys, shapes, invariants) at a seconds-scale n so driver
+regressions surface in the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    Context,
+    DATASET_NAMES,
+    fig07_pareto,
+    fig10_point_query,
+    fig12_window,
+    fig15_updates,
+    table2_ablation,
+)
+from repro.bench.harness import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    tiny = ExperimentScale(
+        name="tiny",
+        n=500,
+        n_point_queries=30,
+        n_window_queries=8,
+        n_knn_queries=4,
+        k=5,
+        selector_cardinalities=(300,),
+        selector_deltas=(0.0, 0.6),
+        train_epochs=50,
+        rl_steps=25,
+    )
+    return Context(tiny)
+
+
+def test_fig07_rows_structure(ctx):
+    rows = fig07_pareto(ctx)
+    indices = {r["index"] for r in rows}
+    assert indices == {"ZM", "ML", "RSMI", "LISA"}
+    # LISA has no CL/RL rows (inapplicable).
+    lisa_methods = {r["method"] for r in rows if r["index"] == "LISA"}
+    assert "CL" not in lisa_methods and "RL" not in lisa_methods
+    for r in rows:
+        assert r["build_seconds"] > 0
+        assert r["query_us"] > 0
+
+
+def test_fig10_covers_all_cells(ctx):
+    result = fig10_point_query(ctx)
+    assert set(result) == set(DATASET_NAMES)
+    expected_indices = {
+        "Grid", "KDB", "HRR", "RR*",
+        "ML", "ML-F", "LISA", "LISA-F", "RSMI", "RSMI-F",
+    }
+    for name, row in result.items():
+        assert set(row) == expected_indices, name
+        assert all(v > 0 for v in row.values())
+
+
+def test_fig12_recall_bounds(ctx):
+    result = fig12_window(ctx)
+    for name in DATASET_NAMES:
+        for label, recall in result["recall"][name].items():
+            assert 0.0 <= recall <= 1.0, (name, label)
+        assert result["recall"][name]["ML"] == 1.0  # exact by design
+
+
+def test_table2_na_cells(ctx):
+    result = table2_ablation(ctx)
+    assert result["build_seconds"]["LISA"]["CL"] is None
+    assert result["build_seconds"]["LISA"]["RL"] is None
+    assert result["build_seconds"]["ZM"]["CL"] is not None
+    for index_name, row in result["build_seconds"].items():
+        assert row["ELSI"] is not None and row["ELSI"] > 0
+
+
+def test_fig15_metrics_structure(ctx):
+    result = fig15_updates(ctx, insert_ratios=(0.05, 0.2))
+    assert set(result) == {"ML-F", "ML-R", "LISA-F", "LISA-R", "RSMI-F", "RSMI-R", "RR*"}
+    for label, series in result.items():
+        assert [m["ratio"] for m in series] == [0.05, 0.2]
+        for m in series:
+            assert m["insert_us"] >= 0
+            assert m["point_us"] > 0
+        if label.endswith("-F") or label == "RR*":
+            assert not any(m["rebuilt"] for m in series)

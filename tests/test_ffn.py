@@ -1,0 +1,144 @@
+"""Unit tests for the NumPy feed-forward network."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adam import Adam
+from repro.ml.ffn import FFN
+
+
+class TestConstruction:
+    def test_layer_shapes(self):
+        net = FFN([3, 8, 2])
+        assert [w.shape for w in net.weights] == [(3, 8), (8, 2)]
+        assert [b.shape for b in net.biases] == [(8,), (2,)]
+
+    def test_n_parameters(self):
+        net = FFN([1, 16, 1])
+        assert net.n_parameters == 1 * 16 + 16 + 16 * 1 + 1
+
+    def test_rejects_single_layer(self):
+        with pytest.raises(ValueError):
+            FFN([4])
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            FFN([1, 0, 1])
+
+    def test_seed_reproducibility(self):
+        a, b = FFN([2, 4, 1], seed=7), FFN([2, 4, 1], seed=7)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_different_seeds_differ(self):
+        a, b = FFN([2, 4, 1], seed=1), FFN([2, 4, 1], seed=2)
+        assert not np.array_equal(a.weights[0], b.weights[0])
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = FFN([2, 8, 3])
+        out = net.forward(np.zeros((5, 2)))
+        assert out.shape == (5, 3)
+
+    def test_1d_input_promoted(self):
+        net = FFN([1, 4, 1])
+        assert net.forward(np.array([0.1, 0.2])).shape == (2, 1)
+
+    def test_predict_squeezes_single_output(self):
+        net = FFN([1, 4, 1])
+        assert net.predict(np.array([0.1, 0.2])).shape == (2,)
+
+    def test_predict_keeps_multi_output(self):
+        net = FFN([1, 4, 3])
+        assert net.predict(np.array([0.1])).shape == (1, 3)
+
+    def test_relu_hidden_linear_output(self):
+        # With all-positive weights/bias suppressed the output can be
+        # negative (linear output layer), unlike a ReLU output.
+        net = FFN([1, 4, 1], seed=0)
+        net.weights[1][:] = -1.0
+        net.biases[1][:] = -1.0
+        assert net.predict(np.array([1.0]))[0] < 0
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            FFN([1, 2, 1]).forward(np.zeros((2, 2, 2)))
+
+    def test_callable_alias(self):
+        net = FFN([1, 4, 1])
+        x = np.array([0.3])
+        np.testing.assert_array_equal(net(x), net.predict(x))
+
+
+class TestGradients:
+    def test_loss_decreases_under_adam(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((64, 1))
+        y = 2.0 * x + 0.5
+        net = FFN([1, 8, 1], seed=0)
+        opt = Adam(net.parameters(), lr=0.01)
+        first, _ = net.loss_and_gradients(x, y)
+        for _ in range(200):
+            _, grads = net.loss_and_gradients(x, y)
+            opt.step(grads)
+        last, _ = net.loss_and_gradients(x, y)
+        assert last < first / 10
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((8, 2))
+        y = rng.random((8, 1))
+        net = FFN([2, 4, 1], seed=3)
+        _, grads = net.loss_and_gradients(x, y)
+        eps = 1e-6
+        # Check one weight and one bias entry in each layer.
+        for layer in range(net.n_layers):
+            w = net.weights[layer]
+            w[0, 0] += eps
+            loss_plus, _ = net.loss_and_gradients(x, y)
+            w[0, 0] -= 2 * eps
+            loss_minus, _ = net.loss_and_gradients(x, y)
+            w[0, 0] += eps
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[2 * layer][0, 0] == pytest.approx(numeric, abs=1e-4)
+
+    def test_empty_batch_rejected(self):
+        net = FFN([1, 2, 1])
+        with pytest.raises(ValueError):
+            net.loss_and_gradients(np.empty((0, 1)), np.empty((0, 1)))
+
+    def test_loss_is_mse(self):
+        net = FFN([1, 2, 1], seed=0)
+        x = np.array([[0.5]])
+        pred = net.forward(x)[0, 0]
+        y = np.array([[pred + 3.0]])
+        loss, _ = net.loss_and_gradients(x, y)
+        assert loss == pytest.approx(9.0)
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = FFN([2, 4, 1], seed=0)
+        b = FFN([2, 4, 1], seed=99)
+        b.load_state_dict(a.state_dict())
+        x = np.random.default_rng(0).random((3, 2))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_state_dict_is_a_copy(self):
+        net = FFN([1, 2, 1], seed=0)
+        state = net.state_dict()
+        state["w0"][:] = 99.0
+        assert not np.any(net.weights[0] == 99.0)
+
+    def test_shape_mismatch_rejected(self):
+        a = FFN([2, 4, 1])
+        b = FFN([2, 8, 1])
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_copy_is_independent(self):
+        a = FFN([1, 4, 1], seed=0)
+        b = a.copy()
+        b.weights[0][:] = 0.0
+        assert not np.array_equal(a.weights[0], b.weights[0])

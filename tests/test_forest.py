@@ -1,0 +1,70 @@
+"""Unit tests for the random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+
+
+def test_regressor_fits_smooth_function():
+    rng = np.random.default_rng(0)
+    x = rng.random((400, 1))
+    y = np.sin(3 * x[:, 0])
+    forest = RandomForestRegressor(n_estimators=15, max_depth=8, seed=0).fit(x, y)
+    pred = forest.predict(x)
+    assert np.mean((pred - y) ** 2) < 0.01
+
+
+def test_regressor_averages_trees():
+    x = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 1.0])
+    forest = RandomForestRegressor(n_estimators=5, seed=0).fit(x, y)
+    manual = np.mean([t.predict(x) for t in forest.trees], axis=0)
+    np.testing.assert_allclose(forest.predict(x), manual)
+
+
+def test_classifier_separable():
+    rng = np.random.default_rng(1)
+    x = np.vstack([rng.normal(0, 0.1, (60, 2)), rng.normal(1, 0.1, (60, 2))])
+    y = np.array([0] * 60 + [1] * 60)
+    forest = RandomForestClassifier(n_estimators=10, seed=0).fit(x, y)
+    assert (forest.predict(x) == y).mean() > 0.95
+
+
+def test_classifier_proba_rows_sum_to_one():
+    rng = np.random.default_rng(2)
+    x = rng.random((80, 2))
+    y = rng.integers(0, 3, 80)
+    forest = RandomForestClassifier(n_estimators=8, seed=0).fit(x, y)
+    proba = forest.predict_proba(x[:5])
+    assert proba.shape == (5, 3)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+def test_classifier_handles_string_labels():
+    x = np.array([[0.0], [0.1], [0.9], [1.0]])
+    y = np.array(["SP", "SP", "MR", "MR"])
+    forest = RandomForestClassifier(n_estimators=5, seed=0).fit(x, y)
+    assert forest.predict(np.array([[0.05]]))[0] in ("SP", "MR")
+
+
+def test_bootstrap_diversity():
+    # Different trees should generally see different bootstrap samples.
+    rng = np.random.default_rng(3)
+    x = rng.random((100, 3))
+    y = rng.random(100)
+    forest = RandomForestRegressor(n_estimators=5, max_depth=6, seed=0).fit(x, y)
+    preds = np.stack([t.predict(x) for t in forest.trees])
+    assert np.std(preds, axis=0).mean() > 0
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        RandomForestRegressor(n_estimators=0)
+    with pytest.raises(ValueError):
+        RandomForestRegressor().fit(np.empty((0, 1)), np.empty(0))
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(RuntimeError):
+        RandomForestRegressor().predict(np.zeros((1, 1)))

@@ -1,0 +1,86 @@
+"""Unit tests for the iDistance mapping (ML-Index substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.idistance import IDistanceMapping
+
+
+@pytest.fixture(scope="module")
+def mapping(request):
+    rng = np.random.default_rng(0)
+    pts = rng.random((1_000, 2))
+    return IDistanceMapping.fit(pts, n_references=8, seed=0), pts
+
+
+def test_keys_partition_disjoint(mapping):
+    m, pts = mapping
+    keys = m.keys(pts)
+    ids, dists = m.nearest_reference(pts)
+    # Key = id * stretch + dist, and dist < stretch, so partitions never
+    # overlap in key space.
+    np.testing.assert_array_equal((keys // m.stretch).astype(int), ids)
+    assert np.all(dists < m.stretch)
+
+
+def test_key_formula(mapping):
+    m, pts = mapping
+    ids, dists = m.nearest_reference(pts[:50])
+    keys = m.keys(pts[:50])
+    np.testing.assert_allclose(keys, ids * m.stretch + dists)
+
+
+def test_nearest_reference_is_nearest(mapping):
+    m, pts = mapping
+    ids, dists = m.nearest_reference(pts[:100])
+    all_dists = np.linalg.norm(pts[:100, None, :] - m.references[None], axis=2)
+    np.testing.assert_array_equal(ids, np.argmin(all_dists, axis=1))
+    np.testing.assert_allclose(dists, all_dists.min(axis=1), atol=1e-12)
+
+
+def test_single_point_input(mapping):
+    m, pts = mapping
+    key = m.keys(pts[0])
+    assert key.shape == (1,)
+
+
+def test_partition_interval(mapping):
+    m, _pts = mapping
+    lo, hi = m.partition_interval(3)
+    assert lo == pytest.approx(3 * m.stretch)
+    assert hi == pytest.approx(4 * m.stretch)
+    with pytest.raises(ValueError):
+        m.partition_interval(m.n_references)
+
+
+def test_annulus_covers_ball(mapping):
+    """Every point within `radius` of the centre has its key inside the
+    annulus range of its partition — the iDistance search invariant."""
+    m, pts = mapping
+    center = np.array([0.5, 0.5])
+    radius = 0.2
+    ranges = m.annulus_keys(center, radius)
+    dist_to_center = np.linalg.norm(pts - center, axis=1)
+    in_ball = pts[dist_to_center <= radius]
+    keys = m.keys(in_ball)
+    ids, _ = m.nearest_reference(in_ball)
+    for key, pid in zip(keys, ids):
+        lo, hi = ranges[pid]
+        assert lo - 1e-9 <= key <= hi + 1e-9
+
+
+def test_negative_radius_rejected(mapping):
+    m, _pts = mapping
+    with pytest.raises(ValueError):
+        m.annulus_keys(np.array([0.5, 0.5]), -0.1)
+
+
+def test_fit_fewer_points_than_references():
+    pts = np.random.default_rng(1).random((3, 2))
+    m = IDistanceMapping.fit(pts, n_references=10)
+    assert m.n_references == 3
+
+
+def test_fit_empty_rejected():
+    with pytest.raises(ValueError):
+        IDistanceMapping.fit(np.empty((0, 2)))

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: ELSI over every (base index x method),
+the headline build-speedup claim, and the update -> rebuild loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ELSI, ELSIConfig
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.methods.model_reuse import ModelReuseMethod
+from repro.data import load_dataset
+from repro.indices import LISAIndex, MLIndex, RSMIIndex, ZMIndex
+from repro.queries.evaluate import brute_force_window, window_recall
+from repro.queries.workload import point_workload, window_workload
+from repro.spatial.rect import Rect
+
+INDICES = {"ZM": ZMIndex, "ML": MLIndex, "RSMI": RSMIIndex, "LISA": LISAIndex}
+APPLICABLE = {
+    "ZM": ("SP", "CL", "MR", "RS", "RL", "OG"),
+    "ML": ("SP", "CL", "MR", "RS", "RL", "OG"),
+    "RSMI": ("SP", "CL", "MR", "RS", "RL", "OG"),
+    "LISA": ("SP", "MR", "RS", "OG"),  # CL/RL inapplicable (Section VII-A)
+}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ELSIConfig(train_epochs=120, rl_steps=60)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return load_dataset("OSM1", 3_000)
+
+
+@pytest.mark.parametrize(
+    "index_name,method",
+    [(i, m) for i, methods in APPLICABLE.items() for m in methods],
+)
+def test_every_index_method_combination(index_name, method, config, points):
+    """Every applicable (base index, build method) pair builds a working
+    index: point queries find all points, windows keep high recall."""
+    builder = ELSIModelBuilder(config, method=method)
+    index = INDICES[index_name](builder=builder).build(points)
+    assert all(index.point_query(p) for p in points[::100])
+    rng = np.random.default_rng(0)
+    recalls = []
+    for _ in range(10):
+        center = points[rng.integers(len(points))]
+        window = Rect.centered(center, 0.05)
+        got = index.window_query(window)
+        recalls.append(window_recall(got, brute_force_window(points, window)))
+    assert np.mean(recalls) > 0.9
+    used = index.build_stats.methods_used
+    assert used.get(method, 0) >= 1 or method in ("CL", "RL")
+
+
+def test_elsi_headline_build_speedup(config):
+    """The paper's core claim at reproduction scale: ELSI reduces learned
+    index build times by an order of magnitude without hurting query
+    correctness (Figure 8 / Table II shape)."""
+    points = load_dataset("OSM1", 10_000)
+    ModelReuseMethod(
+        epsilon=config.epsilon,
+        hidden_size=config.hidden_size,
+        train_epochs=config.train_epochs,
+    ).prepare()
+
+    started = time.perf_counter()
+    og = ZMIndex(builder=ELSIModelBuilder(config, method="OG")).build(points)
+    og_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast = ZMIndex(builder=ELSIModelBuilder(config, method="MR")).build(points)
+    fast_seconds = time.perf_counter() - started
+
+    assert fast_seconds < og_seconds / 3
+    # Query efficiency retained: both answer correctly with bounded scans.
+    queries = point_workload(points, 200, seed=0)
+    assert all(q.run(fast) for q in queries)
+    assert all(q.run(og) for q in queries)
+
+
+def test_window_queries_after_elsi_build(config, points):
+    """ZM/ML windows stay exact under ELSI; RSMI/LISA recall stays high."""
+    for name, cls in INDICES.items():
+        builder = ELSIModelBuilder(config, method="SP")
+        index = cls(builder=builder).build(points)
+        queries = window_workload(points, 20, 1e-3, seed=1)
+        recalls = [
+            window_recall(q.run(index), brute_force_window(points, q.window))
+            for q in queries
+        ]
+        threshold = 1.0 if name in ("ZM", "ML") else 0.9
+        assert np.mean(recalls) >= threshold, name
+
+
+def test_full_lifecycle_with_updates(config):
+    """Build -> query -> insert skewed data -> rebuild -> query again."""
+    points = load_dataset("OSM1", 2_000)
+    elsi = ELSI(config)
+    index = elsi.build(ZMIndex, points, method="RS")
+    processor = elsi.updates(index)
+
+    inserts = load_dataset("Skewed", 600, seed=3)
+    for p in inserts:
+        processor.insert(p)
+    assert processor.n_effective == 2_600
+
+    # Queries see both old and new points before the rebuild.
+    assert processor.point_query(points[42])
+    assert processor.point_query(inserts[17])
+
+    assert processor.to_rebuild()  # heavy skewed drift
+    processor.rebuild()
+    assert processor.rebuilds == 1
+    assert processor.point_query(points[42])
+    assert processor.point_query(inserts[17])
+
+    window = Rect.centered(np.array([0.5, 0.1]), 0.2)
+    got = processor.window_query(window)
+    truth = brute_force_window(processor.current_points(), window)
+    assert window_recall(got, truth) > 0.95
+
+
+def test_selector_end_to_end(config):
+    """Train a selector on a small grid, then let it drive a build."""
+    elsi = ELSI(config)
+    elsi.train_selector(
+        lambda b: ZMIndex(builder=b, branching=1),
+        cardinalities=(400, 1_000),
+        deltas=(0.0, 0.4, 0.8),
+        n_queries=60,
+    )
+    points = load_dataset("NYC", 2_000)
+    index = elsi.build(ZMIndex, points)
+    assert index.n_points == 2_000
+    assert sum(index.build_stats.methods_used.values()) == index.build_stats.n_models
+    # lambda = 0.8 prioritises build time: OG should not be chosen.
+    assert "OG" not in index.build_stats.methods_used
+
+
+def test_multi_model_index_uses_elsi_per_model(config, points):
+    """RSMI trains one model per node, each through the ELSI builder
+    (the Figure 3 scenario)."""
+    builder = ELSIModelBuilder(config, method="SP")
+    index = RSMIIndex(builder=builder, leaf_capacity=500).build(points)
+    assert index.n_models() >= 3
+    assert index.build_stats.methods_used["SP"] == index.n_models()

@@ -1,0 +1,64 @@
+"""Unit tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.kmeans import kmeans
+
+
+def test_recovers_separated_clusters():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.1, 0.1], [0.9, 0.1], [0.5, 0.9]])
+    pts = np.vstack([c + rng.normal(0, 0.02, (50, 2)) for c in centers])
+    result = kmeans(pts, 3, seed=0)
+    found = result.centroids[np.argsort(result.centroids[:, 0])]
+    expected = centers[np.argsort(centers[:, 0])]
+    np.testing.assert_allclose(found, expected, atol=0.05)
+
+
+def test_labels_match_nearest_centroid():
+    pts = np.random.default_rng(1).random((200, 2))
+    result = kmeans(pts, 5, seed=0)
+    dists = np.linalg.norm(pts[:, None, :] - result.centroids[None, :, :], axis=2)
+    np.testing.assert_array_equal(result.labels, np.argmin(dists, axis=1))
+
+
+def test_inertia_decreases_with_k():
+    pts = np.random.default_rng(2).random((300, 2))
+    inertias = [kmeans(pts, k, seed=0).inertia for k in (1, 4, 16)]
+    assert inertias[0] > inertias[1] > inertias[2]
+
+
+def test_k_equals_n():
+    pts = np.random.default_rng(3).random((10, 2))
+    result = kmeans(pts, 10, seed=0)
+    assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+def test_k_one_is_mean():
+    pts = np.random.default_rng(4).random((50, 2))
+    result = kmeans(pts, 1, seed=0)
+    np.testing.assert_allclose(result.centroids[0], pts.mean(axis=0), atol=1e-9)
+
+
+def test_duplicate_points():
+    pts = np.tile([[0.5, 0.5]], (20, 1))
+    result = kmeans(pts, 3, seed=0)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_invalid_args():
+    pts = np.zeros((5, 2))
+    with pytest.raises(ValueError):
+        kmeans(pts, 0)
+    with pytest.raises(ValueError):
+        kmeans(pts, 6)
+    with pytest.raises(ValueError):
+        kmeans(np.empty((0, 2)), 1)
+
+
+def test_seed_reproducibility():
+    pts = np.random.default_rng(5).random((100, 2))
+    a = kmeans(pts, 4, seed=7)
+    b = kmeans(pts, 4, seed=7)
+    np.testing.assert_array_equal(a.centroids, b.centroids)

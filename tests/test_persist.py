@@ -1,0 +1,97 @@
+"""Tests for index persistence (save/load round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import PGMBuilder, ZMIndex
+from repro.spatial.rect import Rect
+from repro.storage.persist import load_zm_index, save_zm_index
+
+
+@pytest.fixture()
+def built_index(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    return ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+
+
+class TestRoundTrip:
+    def test_point_queries_identical(self, built_index, osm_points, tmp_path):
+        path = tmp_path / "zm.npz"
+        save_zm_index(built_index, path)
+        loaded = load_zm_index(path)
+        for p in osm_points[::50]:
+            assert loaded.point_query(p) == built_index.point_query(p)
+
+    def test_window_queries_identical(self, built_index, osm_points, tmp_path):
+        path = tmp_path / "zm.npz"
+        save_zm_index(built_index, path)
+        loaded = load_zm_index(path)
+        window = Rect.centered(np.array([0.5, 0.5]), 0.1)
+        a = built_index.window_query(window)
+        b = loaded.window_query(window)
+        assert len(a) == len(b)
+
+    def test_predictions_bitwise_equal(self, built_index, tmp_path):
+        path = tmp_path / "zm.npz"
+        save_zm_index(built_index, path)
+        loaded = load_zm_index(path)
+        keys = built_index.store.keys[::37]
+        np.testing.assert_array_equal(
+            built_index.model.stage1.predict_positions(keys),
+            loaded.model.stage1.predict_positions(keys),
+        )
+        assert loaded.model.stage1.err_l == built_index.model.stage1.err_l
+        assert loaded.model.stage1.err_u == built_index.model.stage1.err_u
+
+    def test_metadata_preserved(self, built_index, tmp_path):
+        path = tmp_path / "zm.npz"
+        save_zm_index(built_index, path)
+        loaded = load_zm_index(path)
+        assert loaded.n_points == built_index.n_points
+        assert loaded.bits == built_index.bits
+        assert loaded.bounds == built_index.bounds
+        assert loaded.model.stage1.method_name == "SP"
+
+    def test_two_stage_round_trip(self, osm_points, tmp_path):
+        config = ELSIConfig(train_epochs=60)
+        index = ZMIndex(
+            builder=ELSIModelBuilder(config, method="SP"), branching=4
+        ).build(osm_points)
+        path = tmp_path / "zm2.npz"
+        save_zm_index(index, path)
+        loaded = load_zm_index(path)
+        assert loaded.model.is_two_stage == index.model.is_two_stage
+        for p in osm_points[::100]:
+            assert loaded.point_query(p)
+
+    def test_pla_model_round_trip(self, osm_points, tmp_path):
+        index = ZMIndex(builder=PGMBuilder(epsilon_positions=32)).build(osm_points)
+        path = tmp_path / "zm_pgm.npz"
+        save_zm_index(index, path)
+        loaded = load_zm_index(path)
+        assert loaded.model.stage1.err_l == index.model.stage1.err_l
+        for p in osm_points[::100]:
+            assert loaded.point_query(p)
+
+    def test_native_inserts_preserved(self, built_index, tmp_path):
+        extra = np.array([0.123, 0.456])
+        built_index.insert(extra)
+        path = tmp_path / "zm3.npz"
+        save_zm_index(built_index, path)
+        loaded = load_zm_index(path)
+        assert loaded.point_query(extra)
+        assert loaded.n_points == built_index.n_points
+
+
+class TestErrors:
+    def test_unbuilt_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_zm_index(ZMIndex(), tmp_path / "x.npz")
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, meta=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
+        with pytest.raises(ValueError):
+            load_zm_index(path)

@@ -1,0 +1,94 @@
+"""Unit tests for the quadtree partitioning substrate (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.quadtree import QuadTree
+from repro.spatial.rect import Rect
+
+
+def test_every_point_in_exactly_one_leaf(osm_points):
+    tree = QuadTree(osm_points, max_points=50)
+    indices = np.concatenate([leaf.point_indices for leaf in tree.leaves()])
+    assert sorted(indices.tolist()) == list(range(len(osm_points)))
+
+
+def test_leaf_capacity_respected(osm_points):
+    tree = QuadTree(osm_points, max_points=64)
+    assert all(leaf.size <= 64 for leaf in tree.leaves())
+
+
+def test_points_inside_leaf_bounds(osm_points):
+    tree = QuadTree(osm_points, max_points=100)
+    for leaf in tree.leaves():
+        pts = osm_points[leaf.point_indices]
+        # Closed-open convention: lower bound inclusive, upper may equal.
+        assert np.all(pts >= leaf.bounds.lo_array - 1e-12)
+        assert np.all(pts <= leaf.bounds.hi_array + 1e-12)
+
+
+def test_single_node_when_under_capacity():
+    pts = np.random.default_rng(0).random((10, 2))
+    tree = QuadTree(pts, max_points=100)
+    assert tree.root.is_leaf
+    assert tree.depth() == 0
+
+
+def test_duplicate_points_bounded_by_max_depth():
+    pts = np.tile([[0.5, 0.5]], (100, 1))
+    tree = QuadTree(pts, max_points=4, max_depth=6)
+    assert tree.depth() <= 6
+    assert sum(leaf.size for leaf in tree.leaves()) == 100
+
+
+def test_locate_finds_containing_leaf(osm_points):
+    tree = QuadTree(osm_points, max_points=32)
+    for p in osm_points[:100]:
+        leaf = tree.locate(p)
+        assert leaf.is_leaf
+        assert leaf.bounds.contains_point(np.clip(p, leaf.bounds.lo_array, leaf.bounds.hi_array))
+
+
+def test_locate_consistent_with_membership(osm_points):
+    tree = QuadTree(osm_points, max_points=32)
+    for i in range(0, 200, 7):
+        leaf = tree.locate(osm_points[i])
+        assert i in set(leaf.point_indices.tolist())
+
+
+def test_3d_partitioning():
+    pts = np.random.default_rng(1).random((500, 3))
+    tree = QuadTree(pts, max_points=32)
+    internal, _leaves = tree.count_nodes()
+    assert internal >= 1
+    # Each internal node has 2^3 children.
+    assert len(tree.root.children) == 8
+    assert sum(leaf.size for leaf in tree.leaves()) == 500
+
+
+def test_explicit_bounds():
+    pts = np.array([[0.4, 0.4], [0.6, 0.6]])
+    tree = QuadTree(pts, max_points=1, bounds=Rect.unit(2))
+    assert tree.bounds == Rect.unit(2)
+
+
+def test_empty_points():
+    tree = QuadTree(np.empty((0, 2)), max_points=4)
+    assert tree.root.is_leaf
+    assert tree.leaves() == []
+    assert tree.leaves(include_empty=True)[0].size == 0
+
+
+def test_invalid_args():
+    pts = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        QuadTree(pts, max_points=0)
+    with pytest.raises(ValueError):
+        QuadTree(np.zeros(3), max_points=1)
+
+
+def test_count_nodes_consistency(osm_points):
+    tree = QuadTree(osm_points, max_points=50)
+    internal, leaves = tree.count_nodes()
+    # A full 2^d-ary tree: leaves = internal * (2^d - 1) + 1.
+    assert leaves == internal * 3 + 1

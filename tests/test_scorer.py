@@ -1,0 +1,98 @@
+"""Unit tests for the method scorer (Section IV-B1, Equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scorer import MethodScorer, ScorerSample, build_score, query_score
+
+
+def _samples() -> list[ScorerSample]:
+    """Synthetic ground truth with a clean structure: MR builds fastest,
+    OG queries fastest; true at every (n, dist)."""
+    samples = []
+    for n in (1_000, 10_000):
+        for dist in (0.0, 0.4, 0.8):
+            samples.extend(
+                [
+                    ScorerSample("MR", n, dist, build_speedup=60.0, query_speedup=0.9),
+                    ScorerSample("SP", n, dist, build_speedup=12.0, query_speedup=0.97),
+                    ScorerSample("RS", n, dist, build_speedup=6.0, query_speedup=1.02),
+                    ScorerSample("OG", n, dist, build_speedup=1.0, query_speedup=1.05),
+                ]
+            )
+    return samples
+
+
+class TestScores:
+    def test_build_score_monotone(self):
+        assert build_score(1.0) == 0.0
+        assert build_score(2.0) < build_score(64.0)
+        assert build_score(1e9) == 1.5  # clipped
+
+    def test_query_score_identity_region(self):
+        assert query_score(0.95) == pytest.approx(0.95)
+        assert query_score(5.0) == 2.0  # clipped
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            build_score(0.0)
+        with pytest.raises(ValueError):
+            query_score(-1.0)
+
+
+class TestMethodScorer:
+    @pytest.fixture()
+    def scorer(self):
+        s = MethodScorer(method_names=("MR", "SP", "RS", "OG"), seed=0)
+        s.fit(_samples(), epochs=800)
+        return s
+
+    def test_features_layout(self):
+        s = MethodScorer(method_names=("A", "B"))
+        row = s.features("B", 10_000, 0.3)
+        np.testing.assert_allclose(row, [0.0, 1.0, 0.5, 0.3])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            MethodScorer(("A",)).features("B", 10, 0.0)
+
+    def test_equation2_weighting(self, scorer):
+        methods = ["MR", "SP", "RS", "OG"]
+        c = scorer.combined_scores(5_000, 0.4, methods, lam=0.5, w_q=1.0)
+        b, q = scorer.predict_scores(5_000, 0.4, methods)
+        np.testing.assert_allclose(c, 0.5 * b + 0.5 * q, atol=1e-12)
+
+    def test_lambda_one_picks_fastest_build(self, scorer):
+        assert scorer.select(5_000, 0.4, ["MR", "SP", "RS", "OG"], lam=1.0) == "MR"
+
+    def test_lambda_zero_picks_fastest_query(self, scorer):
+        assert scorer.select(5_000, 0.4, ["MR", "SP", "RS", "OG"], lam=0.0) == "OG"
+
+    def test_selection_restricted_to_candidates(self, scorer):
+        # MR excluded: the next-best build method wins at lambda=1.
+        assert scorer.select(5_000, 0.4, ["SP", "RS", "OG"], lam=1.0) == "SP"
+
+    def test_w_q_amplifies_query_term(self, scorer):
+        """Equation 2: larger w_Q shifts the balance toward query cost."""
+        methods = ["MR", "OG"]
+        low = scorer.combined_scores(5_000, 0.4, methods, lam=0.5, w_q=1.0)
+        high = scorer.combined_scores(5_000, 0.4, methods, lam=0.5, w_q=3.0)
+        # OG's relative standing improves with w_q.
+        assert (high[1] - high[0]) > (low[1] - low[0])
+
+    def test_unfitted_rejected(self):
+        s = MethodScorer(("A", "B"))
+        with pytest.raises(RuntimeError):
+            s.predict_scores(10, 0.0, ["A"])
+
+    def test_invalid_lambda(self, scorer):
+        with pytest.raises(ValueError):
+            scorer.combined_scores(10, 0.0, ["MR"], lam=1.5)
+
+    def test_empty_candidates_rejected(self, scorer):
+        with pytest.raises(ValueError):
+            scorer.select(10, 0.0, [], lam=0.5)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            MethodScorer(("A",)).fit([])

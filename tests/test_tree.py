@@ -1,0 +1,95 @@
+"""Unit tests for the CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 200)
+        y = (x > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        pred = tree.predict(np.array([0.2, 0.8]))
+        np.testing.assert_allclose(pred, [0.0, 10.0], atol=1e-9)
+
+    def test_single_leaf_predicts_mean(self):
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_split=100)
+        tree.fit(np.arange(5.0), np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert tree.predict(np.array([99.0]))[0] == pytest.approx(3.0)
+
+    def test_respects_max_depth(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((500, 2))
+        y = rng.random(500)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert tree.depth() <= 4
+
+    def test_perfect_fit_on_distinct_points(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([5.0, -2.0, 7.0, 0.0])
+        tree = DecisionTreeRegressor(max_depth=10).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y)
+
+    def test_constant_targets_single_leaf(self):
+        x = np.random.default_rng(0).random((50, 2))
+        tree = DecisionTreeRegressor().fit(x, np.full(50, 7.0))
+        assert tree.depth() == 0
+
+    def test_multifeature_split_selection(self):
+        # Target depends only on feature 1; the first split must use it.
+        rng = np.random.default_rng(0)
+        x = rng.random((300, 2))
+        y = (x[:, 1] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=1).fit(x, y)
+        assert tree._root is not None and tree._root.feature == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+
+class TestClassifier:
+    def test_separable_classes(self):
+        x = np.vstack([np.full((50, 1), 0.0), np.full((50, 1), 1.0)])
+        y = np.array(["a"] * 50 + ["b"] * 50)
+        tree = DecisionTreeClassifier(max_depth=2).fit(x, y)
+        assert tree.predict(np.array([[0.1]]))[0] == "a"
+        assert tree.predict(np.array([[0.9]]))[0] == "b"
+
+    def test_predict_proba_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((100, 2))
+        y = (x[:, 0] + 0.3 * rng.random(100) > 0.5).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        proba = tree.predict_proba(x[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_string_labels_preserved(self):
+        x = np.array([[0.0], [1.0]])
+        tree = DecisionTreeClassifier().fit(x, np.array(["SP", "MR"]))
+        assert set(tree.classes_) == {"MR", "SP"}
+        assert tree.predict(x)[0] in ("SP", "MR")
+
+    def test_xor_needs_depth_two(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        shallow = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert (shallow.predict(x) == y).mean() <= 0.75
+        assert (deep.predict(x) == y).mean() == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)

@@ -1,0 +1,201 @@
+"""Unit tests for the update processor and rebuild predictor (Section IV-B2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ELSIConfig
+from repro.core.update_processor import (
+    RebuildPredictor,
+    UpdateProcessor,
+    train_rebuild_predictor,
+)
+from repro.data import load_dataset
+from repro.indices import ZMIndex
+from repro.queries.evaluate import brute_force_window
+from repro.spatial.rect import Rect
+
+
+@pytest.fixture()
+def processor(osm_points, sp_builder, fast_config):
+    index = ZMIndex(builder=sp_builder).build(osm_points)
+    return UpdateProcessor(index, fast_config), osm_points
+
+
+class TestSideList:
+    def test_insert_then_query(self, processor):
+        proc, _pts = processor
+        p = np.array([0.123456, 0.654321])
+        assert not proc.point_query(p)
+        proc.insert(p)
+        assert proc.point_query(p)
+        assert proc.n_pending == 1
+
+    def test_delete_base_point(self, processor):
+        proc, pts = processor
+        assert proc.delete(pts[5])
+        assert not proc.point_query(pts[5])
+        assert proc.n_effective == len(pts) - 1
+
+    def test_delete_inserted_point(self, processor):
+        proc, _pts = processor
+        p = np.array([0.42, 0.43])
+        proc.insert(p)
+        assert proc.delete(p)
+        assert not proc.point_query(p)
+        assert proc.n_pending == 0
+
+    def test_delete_missing_point_returns_false(self, processor):
+        proc, _pts = processor
+        assert not proc.delete(np.array([9.9, 9.9]))
+
+    def test_reinsert_deleted_base_point(self, processor):
+        proc, pts = processor
+        proc.delete(pts[7])
+        proc.insert(pts[7])
+        assert proc.point_query(pts[7])
+        assert proc.n_effective == len(pts)
+
+    def test_double_delete_returns_false(self, processor):
+        proc, pts = processor
+        assert proc.delete(pts[9])
+        assert not proc.delete(pts[9])
+
+
+class TestQueryMerging:
+    def test_window_includes_inserts_excludes_deletes(self, processor):
+        proc, pts = processor
+        window = Rect.centered(np.array([0.5, 0.5]), 0.2)
+        inside_new = np.array([0.5, 0.5])
+        proc.insert(inside_new)
+        victim = pts[window.contains_points(pts)]
+        if len(victim):
+            proc.delete(victim[0])
+        result = proc.window_query(window)
+        truth = brute_force_window(proc.current_points(), window)
+        assert len(result) == len(truth)
+
+    def test_knn_sees_inserted_points(self, processor):
+        proc, _pts = processor
+        q = np.array([0.313, 0.717])
+        proc.insert(q)  # exact match should be the nearest neighbour
+        result = proc.knn_query(q, 3)
+        assert np.allclose(result[0], q)
+
+    def test_knn_skips_deleted_points(self, processor):
+        proc, pts = processor
+        q = pts[50]
+        proc.delete(q)
+        result = proc.knn_query(q, 5)
+        assert not any(np.array_equal(r, q) for r in result)
+
+    def test_current_points_consistency(self, processor):
+        proc, pts = processor
+        proc.insert(np.array([0.9, 0.9]))
+        proc.delete(pts[0])
+        current = proc.current_points()
+        assert len(current) == len(pts)  # one in, one out
+        assert proc.n_effective == len(current)
+
+
+class TestRebuild:
+    def test_rebuild_clears_side_list(self, processor):
+        proc, pts = processor
+        for i in range(20):
+            proc.insert(np.array([0.01 * i + 0.001, 0.5]))
+        proc.delete(pts[3])
+        n_before = proc.n_effective
+        proc.rebuild()
+        assert proc.n_pending == 0
+        assert proc.n_effective == n_before
+        assert proc.rebuilds == 1
+        assert proc.index.n_points == n_before
+
+    def test_queries_survive_rebuild(self, processor):
+        proc, pts = processor
+        extra = np.array([0.777, 0.333])
+        proc.insert(extra)
+        proc.rebuild()
+        assert proc.point_query(extra)
+        assert proc.point_query(pts[100])
+
+    def test_heuristic_to_rebuild_triggers_on_drift(self, processor):
+        proc, pts = processor
+        # Massive skewed insertions shift the CDF.
+        skew = load_dataset("Skewed", len(pts) // 3, seed=5)
+        for p in skew:
+            proc.insert(p)
+        assert proc.to_rebuild()
+
+    def test_heuristic_no_rebuild_when_unchanged(self, processor):
+        proc, _pts = processor
+        assert not proc.to_rebuild()
+
+    def test_auto_rebuild_fires_at_f_u(self, osm_points, sp_builder):
+        config = ELSIConfig(train_epochs=60, f_u=200)
+        index = ZMIndex(builder=sp_builder).build(osm_points)
+        proc = UpdateProcessor(index, config, auto_rebuild=True)
+        skew = load_dataset("Skewed", 400, seed=6)
+        for p in skew:
+            proc.insert(p)
+        assert proc.rebuilds >= 1
+
+    def test_unbuilt_index_rejected(self, sp_builder, fast_config):
+        with pytest.raises(ValueError):
+            UpdateProcessor(ZMIndex(builder=sp_builder), fast_config)
+
+
+class TestRebuildPredictor:
+    def test_feature_vector(self):
+        x = RebuildPredictor.features(10_000, 0.3, 4, 0.5, 0.8)
+        assert x.shape == (5,)
+        assert x[0] == pytest.approx(0.5)
+
+    def test_fit_and_predict(self):
+        rng = np.random.default_rng(0)
+        # Label = 1 when the CDF similarity dropped below 0.9.
+        x = np.column_stack(
+            [
+                rng.random(200) * 0.5 + 0.3,
+                rng.random(200),
+                rng.random(200),
+                rng.random(200),
+                rng.random(200),
+            ]
+        )
+        y = (x[:, 4] < 0.9).astype(float)
+        predictor = RebuildPredictor(seed=0)
+        predictor.fit(x, y, epochs=800)
+        correct = sum(
+            predictor.should_rebuild(10_000, r[1], int(r[2] * 16), r[3], r[4])
+            == bool(r[4] < 0.9)
+            for r in x
+        )
+        assert correct / len(x) > 0.85
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            RebuildPredictor().should_rebuild(10, 0.0, 1, 0.0, 1.0)
+
+    def test_bad_feature_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RebuildPredictor().fit(np.zeros((5, 3)), np.zeros(5))
+
+    def test_training_pipeline(self, fast_config):
+        """End-to-end ground-truth generation + training (tiny scale)."""
+        from repro.core.build_processor import ELSIModelBuilder
+
+        predictor = train_rebuild_predictor(
+            lambda: ZMIndex(builder=ELSIModelBuilder(fast_config, method="SP")),
+            config=fast_config,
+            cardinalities=(500,),
+            deltas=(0.0,),
+            insert_fractions=(0.05, 0.2),
+            n_queries=30,
+        )
+        assert predictor._fitted
+        # The trained predictor integrates with the processor.
+        index = ZMIndex(
+            builder=ELSIModelBuilder(fast_config, method="SP")
+        ).build(load_dataset("OSM1", 500))
+        proc = UpdateProcessor(index, fast_config, predictor=predictor)
+        assert isinstance(proc.to_rebuild(), bool)

@@ -1,0 +1,85 @@
+"""Unit tests for Morton (Z-order) codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import grid_coordinates, morton_decode, morton_encode, zvalues
+
+
+class TestEncodeDecode:
+    def test_known_2d_codes(self):
+        coords = np.array([[0, 0], [1, 0], [0, 1], [1, 1], [2, 0], [3, 3]])
+        codes = morton_encode(coords, bits=2)
+        np.testing.assert_array_equal(codes, [0, 1, 2, 3, 4, 15])
+
+    def test_round_trip_2d(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 2**16, (500, 2))
+        decoded = morton_decode(morton_encode(coords), d=2)
+        np.testing.assert_array_equal(decoded, coords.astype(np.uint64))
+
+    def test_round_trip_3d(self):
+        rng = np.random.default_rng(1)
+        coords = rng.integers(0, 2**10, (200, 3))
+        decoded = morton_decode(morton_encode(coords, bits=10), d=3, bits=10)
+        np.testing.assert_array_equal(decoded, coords.astype(np.uint64))
+
+    def test_bijective_on_small_grid(self):
+        grid = np.array(list(itertools.product(range(8), range(8))))
+        codes = morton_encode(grid, bits=3)
+        assert sorted(codes.tolist()) == list(range(64))
+
+    def test_empty_input(self):
+        assert len(morton_encode(np.empty((0, 2), dtype=int))) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[2**16, 0]]), bits=16)
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[-1, 0]]))
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[0, 0]]), bits=32)
+
+    def test_monotone_along_axes(self):
+        # Fixing one coordinate, the code grows with the other.
+        ys = morton_encode(np.column_stack([np.zeros(8, int), np.arange(8)]), bits=3)
+        assert np.all(np.diff(ys.astype(np.int64)) > 0)
+
+
+class TestGridScaling:
+    def test_corners(self):
+        bounds = Rect.unit(2)
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        cells = grid_coordinates(pts, bounds, bits=4)
+        np.testing.assert_array_equal(cells[0], [0, 0])
+        np.testing.assert_array_equal(cells[1], [15, 15])
+
+    def test_clipping_outside_bounds(self):
+        bounds = Rect.unit(2)
+        pts = np.array([[-1.0, 2.0]])
+        cells = grid_coordinates(pts, bounds, bits=4)
+        np.testing.assert_array_equal(cells[0], [0, 15])
+
+    def test_degenerate_axis(self):
+        bounds = Rect((0.0, 0.5), (1.0, 0.5))  # zero extent in y
+        pts = np.array([[0.5, 0.5]])
+        cells = grid_coordinates(pts, bounds, bits=4)
+        assert cells[0][1] == 0
+
+    def test_zvalues_window_containment(self):
+        """The ZM window-query invariant: points in a rect have z-values
+        within the z-values of the rect's corners."""
+        rng = np.random.default_rng(2)
+        pts = rng.random((2_000, 2))
+        bounds = Rect.unit(2)
+        window = Rect((0.3, 0.4), (0.6, 0.7))
+        inside = pts[window.contains_points(pts)]
+        z_inside = zvalues(inside, bounds)
+        corners = zvalues(np.array([window.lo, window.hi]), bounds)
+        assert np.all(z_inside >= corners[0])
+        assert np.all(z_inside <= corners[1])
