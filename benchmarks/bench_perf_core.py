@@ -1,0 +1,174 @@
+"""Core perf microbenchmark: parallel build backends + batch-query engine.
+
+Measures (1) multi-model index build time under every executor backend and
+(2) batch point-query throughput against the per-query loop, then writes a
+machine-readable ``BENCH_core.json`` — the repo's perf trajectory seed.
+
+Run from the repo root (scale via ``REPRO_SCALE=smoke|default|large``):
+
+    PYTHONPATH=src REPRO_SCALE=default python benchmarks/bench_perf_core.py
+
+Each result record carries ``op``, ``n``, ``backend``, ``seconds`` and
+``speedup`` (vs the serial backend for builds, vs the scalar loop for
+queries).  Thread/process speedups reflect the host's core count — on a
+single-core CI runner they hover near 1.0x and the ``fused`` backend
+(vectorised multi-model training) carries the build win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import ExperimentScale
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import FloodIndex, LISAIndex, MLIndex, ZMIndex
+
+#: RMI stage-2 fan-out for the build benchmark (the issue's "multi-model
+#: build, branching >= 8").
+BRANCHING = 16
+BUILD_BACKENDS = ("serial", "thread", "process", "fused")
+QUERY_INDICES = (ZMIndex, MLIndex, LISAIndex, FloodIndex)
+
+
+def _build_index(points: np.ndarray, backend: str, scale: ExperimentScale):
+    config = ELSIConfig(train_epochs=scale.train_epochs, parallelism=backend)
+    index = ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=BRANCHING
+    )
+    started = time.perf_counter()
+    index.build(points)
+    return index, time.perf_counter() - started
+
+
+def _models_identical(a, b) -> bool:
+    return all(
+        m1.err_l == m2.err_l
+        and m1.err_u == m2.err_u
+        and all(np.array_equal(w1, w2) for w1, w2 in zip(m1.net.weights, m2.net.weights))
+        and all(np.array_equal(b1, b2) for b1, b2 in zip(m1.net.biases, m2.net.biases))
+        for m1, m2 in zip(a.model.models, b.model.models)
+    )
+
+
+def bench_build(points: np.ndarray, scale: ExperimentScale) -> list[dict]:
+    records = []
+    serial_index, serial_seconds = _build_index(points, "serial", scale)
+    records.append(
+        {
+            "op": "build",
+            "n": len(points),
+            "backend": "serial",
+            "seconds": serial_seconds,
+            "speedup": 1.0,
+            "identical_to_serial": True,
+        }
+    )
+    for backend in BUILD_BACKENDS[1:]:
+        try:
+            index, seconds = _build_index(points, backend, scale)
+        except Exception as exc:  # e.g. process pools unavailable in a sandbox
+            records.append(
+                {
+                    "op": "build",
+                    "n": len(points),
+                    "backend": backend,
+                    "seconds": None,
+                    "speedup": None,
+                    "error": str(exc),
+                }
+            )
+            continue
+        records.append(
+            {
+                "op": "build",
+                "n": len(points),
+                "backend": backend,
+                "seconds": seconds,
+                "speedup": serial_seconds / seconds,
+                "identical_to_serial": _models_identical(serial_index, index),
+            }
+        )
+    return records
+
+
+def bench_queries(points: np.ndarray, scale: ExperimentScale) -> list[dict]:
+    rng = np.random.default_rng(7)
+    b = max(scale.n_point_queries, 200)
+    batch = np.vstack(
+        [
+            points[rng.integers(0, len(points), size=b)],  # hits
+            rng.random((b, 2)) * 2.0,  # mostly misses
+        ]
+    )
+    records = []
+    for cls in QUERY_INDICES:
+        config = ELSIConfig(train_epochs=scale.train_epochs)
+        index = cls(builder=ELSIModelBuilder(config, method="SP")).build(points)
+        started = time.perf_counter()
+        loop = np.array([index.point_query(p) for p in batch], dtype=bool)
+        loop_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        vectorised = index.point_queries(batch)
+        batch_seconds = time.perf_counter() - started
+        if not np.array_equal(loop, vectorised):
+            raise AssertionError(f"{cls.name}: batch results diverge from the loop")
+        records.append(
+            {
+                "op": f"point_queries[{cls.name}]",
+                "n": len(batch),
+                "backend": "loop",
+                "seconds": loop_seconds,
+                "speedup": 1.0,
+            }
+        )
+        records.append(
+            {
+                "op": f"point_queries[{cls.name}]",
+                "n": len(batch),
+                "backend": "batch",
+                "seconds": batch_seconds,
+                "speedup": loop_seconds / batch_seconds,
+            }
+        )
+    return records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_core.json", help="where to write the results"
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_env(default="default")
+    from repro.data import load_dataset
+
+    points = load_dataset("OSM1", scale.n)
+    print(f"scale={scale.name} n={scale.n} cpus={os.cpu_count()}")
+
+    results = bench_build(points, scale) + bench_queries(points, scale)
+    for r in results:
+        seconds = "failed" if r["seconds"] is None else f"{r['seconds']:.3f}s"
+        speedup = "-" if r["speedup"] is None else f"{r['speedup']:.2f}x"
+        print(f"{r['op']:24s} {r['backend']:8s} {seconds:>10s} {speedup:>8s}")
+
+    payload = {
+        "benchmark": "bench_perf_core",
+        "scale": scale.name,
+        "n": scale.n,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

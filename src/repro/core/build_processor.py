@@ -28,13 +28,15 @@ from repro.core.methods.base import BuildMethod, MethodResult, make_method_pool
 from repro.core.methods.model_reuse import MethodFailure
 from repro.indices.base import (
     BuildStats,
+    FitJob,
     MapFn,
     ModelBuilder,
     TrainedModel,
-    fit_cdf_model,
+    _merge_fit_costs,
+    run_fit_job,
 )
-from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig
+from repro.perf.executor import MapExecutor, resolve_executor
 from repro.spatial.cdf import uniform_dissimilarity
 
 __all__ = ["ELSIModelBuilder"]
@@ -68,6 +70,12 @@ class ELSIModelBuilder(ModelBuilder):
         self.selector = selector
         self.fixed_method = method
         self.random_choice = random_choice
+        #: Dispatch backend for multi-model builds; ``ELSIConfig.parallelism``
+        #: seeds it, the ``REPRO_PARALLELISM`` env variable overrides it.
+        self.executor = MapExecutor(
+            backend=self.config.parallelism,
+            max_workers=self.config.parallel_workers,
+        )
         self._rng = np.random.default_rng(self.config.seed)
         self.pool: list[BuildMethod] = make_method_pool(self.config)
         self._by_name = {m.name: m for m in self.pool}
@@ -112,20 +120,27 @@ class ELSIModelBuilder(ModelBuilder):
         return chain
 
     # ------------------------------------------------------------------
-    def build_model(
+    def prepare_fit_job(
         self,
         sorted_keys: np.ndarray,
         sorted_points: np.ndarray,
-        stats: BuildStats,
         map_fn: MapFn | None = None,
-    ) -> TrainedModel:
+    ) -> FitJob:
+        """Algorithm 1's ``compute_set`` phase, packaged as a pure fit job.
+
+        Method choice and ``compute_set`` run here — serially, in partition
+        order — because they may consume shared RNG state (``random_choice``)
+        and their cost is the ``cost_ex`` term, small next to training.  The
+        returned job carries everything the train + error-bound phase needs,
+        so the executor can run jobs on any backend with identical results.
+        """
         n = len(sorted_keys)
         if n == 0:
             raise ValueError("cannot build a model over an empty partition")
 
         select_started = time.perf_counter()
         chosen = self._choose(sorted_keys, map_fn)
-        stats.extra_seconds += time.perf_counter() - select_started
+        extra_seconds = time.perf_counter() - select_started
 
         result: MethodResult | None = None
         used: BuildMethod = chosen
@@ -138,43 +153,33 @@ class ELSIModelBuilder(ModelBuilder):
                 continue
         if result is None:
             raise RuntimeError("every build method failed, including OG")
-        stats.extra_seconds += result.extra_seconds
+        extra_seconds += result.extra_seconds
 
-        key_lo, key_hi = float(sorted_keys[0]), float(sorted_keys[-1])
-        if result.pretrained_state is not None:
-            # MR: load the pre-trained network; no online training (T = 0).
-            net = FFN([1, self.config.hidden_size, 1], seed=self.config.seed)
-            net.load_state_dict(result.pretrained_state)
-            model = TrainedModel(
-                net=net,
-                key_lo=key_lo,
-                key_hi=key_hi,
-                n_indexed=n,
-                method_name=used.name,
-                train_set_size=len(result.train_keys),
-            )
-        else:
-            train_config = TrainConfig(
+        return FitJob(
+            train_keys=result.train_keys,
+            train_ranks=result.train_ranks,
+            key_lo=float(sorted_keys[0]),
+            key_hi=float(sorted_keys[-1]),
+            n_indexed=n,
+            sorted_keys=sorted_keys,
+            hidden=self.config.hidden_size,
+            train_config=TrainConfig(
                 epochs=self.config.train_epochs, seed=self.config.seed
-            )
-            model, train_seconds = fit_cdf_model(
-                result.train_keys,
-                result.train_ranks,
-                key_lo=key_lo,
-                key_hi=key_hi,
-                n_indexed=n,
-                hidden=self.config.hidden_size,
-                train_config=train_config,
-                method_name=used.name,
-                seed=self.config.seed,
-            )
-            stats.train_seconds += train_seconds
+            ),
+            method_name=used.name,
+            seed=self.config.seed,
+            pretrained_state=result.pretrained_state,
+            extra_seconds=extra_seconds,
+        )
 
-        bound_started = time.perf_counter()
-        model.measure_error_bounds(sorted_keys)
-        stats.error_bound_seconds += time.perf_counter() - bound_started
-
-        stats.train_set_size += len(result.train_keys)
-        stats.n_models += 1
-        stats.methods_used[used.name] = stats.methods_used.get(used.name, 0) + 1
-        return model
+    def build_model(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        stats: BuildStats,
+        map_fn: MapFn | None = None,
+    ) -> TrainedModel:
+        job = self.prepare_fit_job(sorted_keys, sorted_points, map_fn)
+        outcome = run_fit_job(job, executor=resolve_executor(self.executor))
+        _merge_fit_costs(stats, job, outcome)
+        return outcome.model

@@ -50,6 +50,14 @@ class ELSIConfig:
     train_epochs / hidden_size:
         FFN training epochs and hidden width for index models (paper: 500
         epochs, lr 0.01).
+    parallelism:
+        Build-executor backend for multi-model builds: ``serial`` (the
+        reference), ``thread`` / ``process`` (pool dispatch of per-partition
+        fit jobs), or ``fused`` (batched single-pass training of all leaf
+        models, see :mod:`repro.perf.fused`).  The ``REPRO_PARALLELISM``
+        environment variable overrides this (e.g. ``thread:4``).
+    parallel_workers:
+        Pool size for the thread/process backends (default: CPU count).
     methods:
         Method pool names to consider, in canonical order.
     """
@@ -68,6 +76,8 @@ class ELSIConfig:
     f_u: int = 1000
     train_epochs: int = 500
     hidden_size: int = 16
+    parallelism: str = "serial"
+    parallel_workers: int | None = None
     seed: int = 0
     methods: tuple[str, ...] = field(
         default=("SP", "CL", "MR", "RS", "RL", "OG")
@@ -88,3 +98,13 @@ class ELSIConfig:
             raise ValueError(f"f_u must be >= 1, got {self.f_u}")
         if not self.methods:
             raise ValueError("the method pool cannot be empty")
+        from repro.perf.executor import BACKENDS
+
+        if self.parallelism not in BACKENDS:
+            raise ValueError(
+                f"parallelism must be one of {BACKENDS}, got {self.parallelism!r}"
+            )
+        if self.parallel_workers is not None and self.parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )

@@ -27,17 +27,25 @@ import numpy as np
 
 from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig, train_regressor
+from repro.perf.executor import MapExecutor, resolve_executor
 from repro.spatial.rect import Rect
 
 __all__ = [
     "BuildStats",
+    "FitJob",
+    "FitOutcome",
     "LearnedSpatialIndex",
     "MapFn",
     "ModelBuilder",
     "OriginalBuilder",
     "QueryStats",
     "TrainedModel",
+    "run_fit_job",
 ]
+
+#: Keys per chunk when the error-bound pass is dispatched through an
+#: executor (the M(n) full-set prediction of Section VI-B).
+BOUND_CHUNK = 32_768
 
 # A base index's map() for one partition: coordinates -> mapped keys.
 MapFn = Callable[[np.ndarray], np.ndarray]
@@ -145,42 +153,153 @@ class TrainedModel:
             return np.zeros_like(keys)
         return (keys - self.key_lo) / span
 
-    def predict_positions(self, keys: np.ndarray) -> np.ndarray:
-        """Predicted sorted positions (clipped to [0, n-1]) for ``keys``."""
-        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
-        self.invocations += len(keys)
+    def _positions(self, keys: np.ndarray) -> np.ndarray:
+        """Predicted positions without invocation accounting (pure)."""
         if self.n_indexed == 0:
             return np.zeros(len(keys), dtype=np.int64)
         raw = self.net.predict(self.normalise(keys)[:, None])
         pos = np.rint(raw * (self.n_indexed - 1)).astype(np.int64)
         return np.clip(pos, 0, self.n_indexed - 1)
 
-    def measure_error_bounds(self, all_keys_sorted: np.ndarray) -> None:
+    def predict_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Predicted sorted positions (clipped to [0, n-1]) for ``keys``."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        self.invocations += len(keys)
+        return self._positions(keys)
+
+    def measure_error_bounds(
+        self, all_keys_sorted: np.ndarray, executor: "MapExecutor | None" = None
+    ) -> None:
         """Record ``err_l``/``err_u`` over the full sorted key set.
 
         Guarantees that for every indexed key at true position ``i`` with
         prediction ``p``: ``i in [p - err_l, p + err_u]`` — the invariant the
         predict-and-scan paradigm relies on (Section III, condition 2).
+
+        The full-set prediction pass is embarrassingly parallel over key
+        chunks; passing a thread/process ``executor`` dispatches it chunked
+        with bit-identical results (predictions are elementwise).
         """
         n = len(all_keys_sorted)
         if n == 0:
             self.err_l = self.err_u = 0
             return
-        predicted = self.predict_positions(all_keys_sorted)
-        true_pos = np.arange(n)
-        over = predicted - true_pos  # positive: predicted past the point
-        self.err_l = int(max(0, over.max()))
-        self.err_u = int(max(0, (-over).max()))
+        chunked = (
+            executor is not None
+            and executor.backend in ("thread", "process")
+            and n > BOUND_CHUNK
+        )
+        if not chunked:
+            predicted = self.predict_positions(all_keys_sorted)
+            over = predicted - np.arange(n)  # positive: predicted past the point
+            self.err_l = int(max(0, over.max()))
+            self.err_u = int(max(0, (-over).max()))
+            return
+        jobs = [
+            (self, start, all_keys_sorted[start : start + BOUND_CHUNK])
+            for start in range(0, n, BOUND_CHUNK)
+        ]
+        extremes = executor.map(_bound_chunk, jobs)
+        self.invocations += n
+        self.err_l = int(max(0, max(over for over, _ in extremes)))
+        self.err_u = int(max(0, max(under for _, under in extremes)))
 
     def search_range(self, key: float) -> tuple[int, int]:
         """Half-open scan range [lo, hi) for ``key`` under the error bounds."""
         pos = int(self.predict_positions(np.array([key]))[0])
         return max(0, pos - self.err_l), min(self.n_indexed, pos + self.err_u + 1)
 
+    def search_ranges(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`search_range` over a key batch."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        pos = self.predict_positions(keys)
+        lo = np.maximum(pos - self.err_l, 0)
+        hi = np.minimum(pos + self.err_u + 1, self.n_indexed)
+        return lo, hi
+
     @property
     def error_width(self) -> int:
         """``err_l + err_u`` — the paper's |Error| column in Table I."""
         return self.err_l + self.err_u
+
+
+def _bound_chunk(job: tuple["TrainedModel", int, np.ndarray]) -> tuple[int, int]:
+    """Max over/under-prediction of one key chunk (module-level so the
+    process backend can pickle it; pure, so dispatch order is irrelevant)."""
+    model, start, keys = job
+    predicted = model._positions(np.asarray(keys, dtype=np.float64))
+    over = predicted - (start + np.arange(len(keys)))
+    return int(over.max()), int((-over).max())
+
+
+@dataclass
+class FitJob:
+    """One self-contained model-fit unit: everything ``run_fit_job`` needs.
+
+    Builders *prepare* jobs serially (method choice and ``compute_set`` may
+    draw from shared RNG state, so preparation order must be the input
+    order) and *run* them through an executor — jobs are pure functions of
+    their fields, which is what makes thread/process dispatch bit-identical
+    to serial.
+    """
+
+    train_keys: np.ndarray
+    train_ranks: np.ndarray
+    key_lo: float
+    key_hi: float
+    n_indexed: int
+    sorted_keys: np.ndarray  # full partition, for the error-bound pass
+    hidden: int
+    train_config: TrainConfig | None
+    method_name: str
+    seed: int
+    pretrained_state: dict | None = None
+    extra_seconds: float = 0.0
+
+
+@dataclass
+class FitOutcome:
+    """A trained model plus the cost components the job incurred."""
+
+    model: TrainedModel
+    train_seconds: float
+    error_bound_seconds: float
+
+
+def run_fit_job(job: FitJob, executor: "MapExecutor | None" = None) -> FitOutcome:
+    """Train (or load) one model and measure its error bounds."""
+    if job.pretrained_state is not None:
+        # MR: load the pre-trained network; no online training (T = 0).
+        net = FFN([1, job.hidden, 1], seed=job.seed)
+        net.load_state_dict(job.pretrained_state)
+        model = TrainedModel(
+            net=net,
+            key_lo=job.key_lo,
+            key_hi=job.key_hi,
+            n_indexed=job.n_indexed,
+            method_name=job.method_name,
+            train_set_size=len(job.train_keys),
+        )
+        train_seconds = 0.0
+    else:
+        model, train_seconds = fit_cdf_model(
+            job.train_keys,
+            job.train_ranks,
+            key_lo=job.key_lo,
+            key_hi=job.key_hi,
+            n_indexed=job.n_indexed,
+            hidden=job.hidden,
+            train_config=job.train_config,
+            method_name=job.method_name,
+            seed=job.seed,
+        )
+    started = time.perf_counter()
+    model.measure_error_bounds(job.sorted_keys, executor=executor)
+    return FitOutcome(
+        model=model,
+        train_seconds=train_seconds,
+        error_bound_seconds=time.perf_counter() - started,
+    )
 
 
 class ModelBuilder(ABC):
@@ -195,7 +314,15 @@ class ModelBuilder(ABC):
     points not in ``D`` (CL, RL) need it; an index whose mapping depends on
     ``D`` itself (LISA's data-derived grid) passes ``None``, which is
     exactly the paper's applicability restriction for those methods.
+
+    Multi-model indices call :meth:`build_models` with all partitions at
+    once; jobs are prepared serially (deterministic RNG order) and then
+    dispatched through the builder's :class:`~repro.perf.executor.MapExecutor`
+    (``executor`` attribute, env-overridable via ``REPRO_PARALLELISM``).
     """
+
+    #: Executor (or backend spec string) for :meth:`build_models` dispatch.
+    executor: "MapExecutor | str | None" = None
 
     @abstractmethod
     def build_model(
@@ -206,6 +333,121 @@ class ModelBuilder(ABC):
         map_fn: "MapFn | None" = None,
     ) -> TrainedModel:
         """Train an index model for the given partition and record costs."""
+
+    def prepare_fit_job(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: "MapFn | None" = None,
+    ) -> FitJob:
+        """Turn one partition into a dispatchable :class:`FitJob`.
+
+        Builders that cannot express their work as a pure job (custom
+        subclasses) keep the default, which makes :meth:`build_models`
+        fall back to a serial ``build_model`` loop.
+        """
+        raise NotImplementedError
+
+    def build_models(
+        self,
+        partitions: list[tuple[np.ndarray, np.ndarray]],
+        stats: BuildStats,
+        map_fn: "MapFn | None" = None,
+        executor: "MapExecutor | None" = None,
+    ) -> list[TrainedModel]:
+        """Build one model per ``(sorted_keys, sorted_points)`` partition.
+
+        Results are returned in partition order and are identical across
+        the serial/thread/process backends; the fused backend trains all
+        same-architecture jobs in one vectorised pass
+        (:mod:`repro.perf.fused`) and then measures error bounds through
+        the standard per-model path, preserving predict-and-scan
+        correctness.
+        """
+        ex = resolve_executor(executor if executor is not None else self.executor)
+        try:
+            jobs = [
+                self.prepare_fit_job(keys, pts, map_fn) for keys, pts in partitions
+            ]
+        except NotImplementedError:
+            return [
+                self.build_model(keys, pts, stats, map_fn) for keys, pts in partitions
+            ]
+        if ex.backend == "fused":
+            outcomes = _run_fit_jobs_fused(jobs)
+        else:
+            outcomes = ex.map(run_fit_job, jobs)
+        models = []
+        for job, outcome in zip(jobs, outcomes):
+            _merge_fit_costs(stats, job, outcome)
+            models.append(outcome.model)
+        return models
+
+
+def _merge_fit_costs(stats: BuildStats, job: FitJob, outcome: FitOutcome) -> None:
+    """Accumulate one job's cost decomposition, in input order."""
+    stats.extra_seconds += job.extra_seconds
+    stats.train_seconds += outcome.train_seconds
+    stats.error_bound_seconds += outcome.error_bound_seconds
+    stats.train_set_size += len(job.train_keys)
+    stats.n_models += 1
+    stats.methods_used[job.method_name] = (
+        stats.methods_used.get(job.method_name, 0) + 1
+    )
+
+
+def _run_fit_jobs_fused(jobs: list[FitJob]) -> list[FitOutcome]:
+    """Run fit jobs with fused (batched) training where possible.
+
+    Jobs sharing an architecture and train config are trained in one
+    vectorised loop; pretrained (MR) and odd-one-out jobs fall back to the
+    serial path.  The fused wall-clock is split evenly across its jobs so
+    ``BuildStats.train_seconds`` still totals the real elapsed time.
+    """
+    from repro.perf.fused import train_regressors_fused
+
+    outcomes: list[FitOutcome | None] = [None] * len(jobs)
+    groups: dict[tuple, list[int]] = {}
+    for i, job in enumerate(jobs):
+        if job.pretrained_state is not None:
+            outcomes[i] = run_fit_job(job)
+            continue
+        groups.setdefault((job.hidden, job.train_config), []).append(i)
+
+    for (hidden, train_config), members in groups.items():
+        if len(members) == 1:
+            i = members[0]
+            outcomes[i] = run_fit_job(jobs[i])
+            continue
+        models = []
+        xs, ys = [], []
+        for i in members:
+            job = jobs[i]
+            model = TrainedModel(
+                net=FFN([1, hidden, 1], seed=job.seed),
+                key_lo=job.key_lo,
+                key_hi=job.key_hi,
+                n_indexed=job.n_indexed,
+                method_name=job.method_name,
+                train_set_size=len(job.train_keys),
+            )
+            models.append(model)
+            xs.append(model.normalise(np.asarray(job.train_keys, dtype=np.float64)))
+            ys.append(np.asarray(job.train_ranks, dtype=np.float64))
+        result = train_regressors_fused(
+            [m.net for m in models], xs, ys, train_config or TrainConfig()
+        )
+        per_job_train = result.elapsed_seconds / len(members)
+        for i, model in zip(members, models):
+            started = time.perf_counter()
+            model.measure_error_bounds(jobs[i].sorted_keys)
+            outcomes[i] = FitOutcome(
+                model=model,
+                train_seconds=per_job_train,
+                error_bound_seconds=time.perf_counter() - started,
+            )
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]
 
 
 def fit_cdf_model(
@@ -240,10 +482,40 @@ def fit_cdf_model(
 class OriginalBuilder(ModelBuilder):
     """The paper's OG method: train on the full data set (no reduction)."""
 
-    def __init__(self, train_config: TrainConfig | None = None, hidden: int = 16, seed: int = 0) -> None:
+    def __init__(
+        self,
+        train_config: TrainConfig | None = None,
+        hidden: int = 16,
+        seed: int = 0,
+        executor: "MapExecutor | str | None" = None,
+    ) -> None:
         self.train_config = train_config
         self.hidden = hidden
         self.seed = seed
+        self.executor = executor
+
+    def prepare_fit_job(
+        self,
+        sorted_keys: np.ndarray,
+        sorted_points: np.ndarray,
+        map_fn: MapFn | None = None,
+    ) -> FitJob:
+        n = len(sorted_keys)
+        if n == 0:
+            raise ValueError("cannot build a model over an empty partition")
+        ranks = np.arange(n) / max(n - 1, 1)
+        return FitJob(
+            train_keys=sorted_keys,
+            train_ranks=ranks,
+            key_lo=float(sorted_keys[0]),
+            key_hi=float(sorted_keys[-1]),
+            n_indexed=n,
+            sorted_keys=sorted_keys,
+            hidden=self.hidden,
+            train_config=self.train_config,
+            method_name="OG",
+            seed=self.seed,
+        )
 
     def build_model(
         self,
@@ -252,29 +524,10 @@ class OriginalBuilder(ModelBuilder):
         stats: BuildStats,
         map_fn: MapFn | None = None,
     ) -> TrainedModel:
-        n = len(sorted_keys)
-        if n == 0:
-            raise ValueError("cannot build a model over an empty partition")
-        ranks = np.arange(n) / max(n - 1, 1)
-        model, train_seconds = fit_cdf_model(
-            sorted_keys,
-            ranks,
-            key_lo=float(sorted_keys[0]),
-            key_hi=float(sorted_keys[-1]),
-            n_indexed=n,
-            hidden=self.hidden,
-            train_config=self.train_config,
-            method_name="OG",
-            seed=self.seed,
-        )
-        started = time.perf_counter()
-        model.measure_error_bounds(sorted_keys)
-        stats.error_bound_seconds += time.perf_counter() - started
-        stats.train_seconds += train_seconds
-        stats.train_set_size += n
-        stats.n_models += 1
-        stats.methods_used["OG"] = stats.methods_used.get("OG", 0) + 1
-        return model
+        job = self.prepare_fit_job(sorted_keys, sorted_points, map_fn)
+        outcome = run_fit_job(job, executor=resolve_executor(self.executor))
+        _merge_fit_costs(stats, job, outcome)
+        return outcome.model
 
 
 class LearnedSpatialIndex(ABC):

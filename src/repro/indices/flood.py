@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder, TrainedModel
 from repro.indices.zm import locate_rank
+from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
 
@@ -141,25 +142,33 @@ class FloodIndex(LearnedSpatialIndex):
         columns = self._column_of(pts[:, 0])
         self.build_stats.prepare_seconds += time.perf_counter() - started
 
+        # Per-column stores are laid out serially (cheap sorts), then every
+        # column model builds through the builder's executor — Flood's
+        # columns are independent partitions, the embarrassingly parallel
+        # case the perf executor exists for.
         self._stores = []
-        self._models = []
         for c in range(self.n_columns):
             members = pts[columns == c]
             if len(members) == 0:
                 self._stores.append(None)
-                self._models.append(None)
                 continue
             started = time.perf_counter()
             order = np.argsort(members[:, 1], kind="stable")
             sorted_pts = members[order]
             keys = sorted_pts[:, 1].copy()
-            store = BlockStore(sorted_pts, keys, block_size=self.block_size)
-            self.build_stats.prepare_seconds += time.perf_counter() - started
-            model = self.builder.build_model(
-                store.keys, store.points, self.build_stats, map_fn=None
+            self._stores.append(
+                BlockStore(sorted_pts, keys, block_size=self.block_size)
             )
-            self._stores.append(store)
-            self._models.append(model)
+            self.build_stats.prepare_seconds += time.perf_counter() - started
+        partitions = [
+            (store.keys, store.points) for store in self._stores if store is not None
+        ]
+        models = iter(
+            self.builder.build_models(partitions, self.build_stats, map_fn=None)
+        )
+        self._models = [
+            None if store is None else next(models) for store in self._stores
+        ]
         return self
 
     # ------------------------------------------------------------------
@@ -179,6 +188,28 @@ class FloodIndex(LearnedSpatialIndex):
         self.query_stats.model_invocations += 1
         self.query_stats.points_scanned += len(pts)
         return bool(np.any(np.all(pts == q, axis=1)))
+
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised batch lookup: queries grouped by column, one model
+        forward pass and one fused range-gather per visited column."""
+        self._check_built()
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.zeros(len(pts), dtype=bool)
+        self.query_stats.queries += len(pts)
+        columns = self._column_of(pts[:, 0])
+        for c in np.unique(columns):
+            store = self._stores[c]
+            model = self._models[c]
+            mask = columns == c
+            if store is None or model is None:
+                continue
+            member_pts = pts[mask]
+            keys = member_pts[:, 1]
+            lo, hi = model.search_ranges(keys)
+            self.query_stats.model_invocations += int(mask.sum())
+            self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+            out[mask] = batch_point_membership(store, lo, hi, keys, member_pts)
+        return out
 
     def window_query(self, window: Rect) -> np.ndarray:
         self._check_built()

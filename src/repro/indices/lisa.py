@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
+from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
 
@@ -178,6 +179,25 @@ class LISAIndex(LearnedSpatialIndex):
         self.query_stats.model_invocations += 1
         self.query_stats.points_scanned += len(pts)
         return bool(np.any(np.all(pts == q, axis=1)))
+
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised batch lookup: one shard-predictor forward pass for all
+        mapped values, shard alignment done arithmetically on the whole
+        batch, and one fused gather per group of overlapping shard ranges."""
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        keys = np.asarray(self.map(pts), dtype=np.float64)
+        lo, hi = self.model.search_ranges(keys)
+        # Vectorised _shard_aligned: widen by inserts, round to whole shards.
+        lo = ((lo - self._native_inserts) // self.shard_size) * self.shard_size
+        hi = -(-(hi + self._native_inserts) // self.shard_size) * self.shard_size
+        lo = np.maximum(lo, 0)
+        hi = np.minimum(hi, self.n_points)
+        self.query_stats.queries += len(pts)
+        self.query_stats.model_invocations += len(pts)
+        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+        return batch_point_membership(self.store, lo, hi, keys, pts)
 
     def window_query(self, window: Rect) -> np.ndarray:
         """Approximate window query (FFN shard predictor, see module docs).

@@ -20,6 +20,7 @@ import numpy as np
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
 from repro.indices.zm import locate_rank
+from repro.perf.batching import batch_point_membership
 from repro.spatial.idistance import IDistanceMapping
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
@@ -101,38 +102,37 @@ class MLIndex(LearnedSpatialIndex):
         q = np.asarray(point, dtype=np.float64)
         key = float(self.map(q[None, :])[0])
         lo, hi = self.model.search_range(key)
-        lo -= self._native_inserts
+        # Clamp like the batch path: inserts near rank 0 would otherwise
+        # push `lo` negative (harmless for scan, wrong for accounting).
+        lo = max(lo - self._native_inserts, 0)
         hi += self._native_inserts
         pts, keys, _ids = self.store.scan(lo, hi)
         self.query_stats.queries += 1
         self.query_stats.model_invocations += 1
         self.query_stats.points_scanned += len(pts)
         # iDistance keys are floats; match on coordinates within the range.
-        match = np.isclose(keys, key, rtol=0.0, atol=1e-12)
+        match = np.isclose(keys, key, rtol=0.0, atol=self.KEY_ATOL)
         return bool(np.any(match & np.all(pts == q, axis=1)))
 
-    @staticmethod
-    def _key_matches(candidate_keys: np.ndarray, key: float) -> np.ndarray:
-        return np.isclose(candidate_keys, key, rtol=0.0, atol=1e-12)
+    #: iDistance keys are floats; candidates match within this tolerance.
+    KEY_ATOL = 1e-12
 
     def point_queries(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised batch lookup: one model forward pass for all keys."""
+        """Vectorised batch lookup: one model forward pass for all keys and
+        one fused gather per group of overlapping scan ranges."""
         self._check_built()
         assert self.store is not None and self.model is not None
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         keys = np.asarray(self.map(pts), dtype=np.float64)
         lo, hi = self.model.search_ranges(keys)
         lo = np.maximum(lo - self._native_inserts, 0)
-        hi = hi + self._native_inserts
-        out = np.empty(len(pts), dtype=bool)
+        hi = np.minimum(hi + self._native_inserts, len(self.store))
         self.query_stats.queries += len(pts)
         self.query_stats.model_invocations += len(pts)
-        for i in range(len(pts)):
-            cand, cand_keys, _ids = self.store.scan(int(lo[i]), int(hi[i]))
-            self.query_stats.points_scanned += len(cand)
-            match = self._key_matches(cand_keys, keys[i])
-            out[i] = bool(np.any(match & np.all(cand == pts[i], axis=1)))
-        return out
+        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+        return batch_point_membership(
+            self.store, lo, hi, keys, pts, atol=self.KEY_ATOL
+        )
 
     def _scan_key_interval(self, key_lo: float, key_hi: float) -> np.ndarray:
         """Exact scan of all points with key in [key_lo, key_hi]."""

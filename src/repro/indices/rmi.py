@@ -69,18 +69,22 @@ class RMIModel:
         if self.branching == 1 or self.n < self.min_partition_size:
             return self
 
+        # Stage-2 leaves are independent per-partition jobs: prepare every
+        # partition, then build them all through the builder's executor
+        # (parallel backends overlap the fits; results stay in branch order).
         routed = self._route(sorted_keys)
-        for branch in range(self.branching):
-            mask = routed == branch
-            positions = np.flatnonzero(mask)
-            if len(positions) == 0:
-                self.stage2.append(self.stage1)
-                self._stage2_positions.append(positions)
-                continue
-            model = self.builder.build_model(
-                sorted_keys[positions], sorted_points[positions], stats, map_fn
-            )
-            self.stage2.append(model)
+        positions_per_branch = [
+            np.flatnonzero(routed == branch) for branch in range(self.branching)
+        ]
+        partitions = [
+            (sorted_keys[positions], sorted_points[positions])
+            for positions in positions_per_branch
+            if len(positions)
+        ]
+        models = iter(self.builder.build_models(partitions, stats, map_fn))
+        for positions in positions_per_branch:
+            # An empty branch reuses stage 1 (routing sends no key there).
+            self.stage2.append(self.stage1 if len(positions) == 0 else next(models))
             self._stage2_positions.append(positions)
         return self
 

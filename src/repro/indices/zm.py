@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
+from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
 from repro.storage.blocks import BlockStore
@@ -132,7 +133,7 @@ class ZMIndex(LearnedSpatialIndex):
         q = np.asarray(point, dtype=np.float64)
         key = float(self.map(q[None, :])[0])
         lo, hi = self.model.search_range(key)
-        lo -= self._native_inserts
+        lo = max(lo - self._native_inserts, 0)
         hi += self._native_inserts
         pts, keys, _ids = self.store.scan(lo, hi)
         self.query_stats.queries += 1
@@ -156,28 +157,20 @@ class ZMIndex(LearnedSpatialIndex):
             return pts
         return pts[window.contains_points(pts)]
 
-    @staticmethod
-    def _key_matches(candidate_keys: np.ndarray, key: float) -> np.ndarray:
-        return candidate_keys == key
-
     def point_queries(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised batch lookup: one model forward pass for all keys."""
+        """Vectorised batch lookup: one model forward pass for all keys and
+        one fused gather per group of overlapping scan ranges."""
         self._check_built()
         assert self.store is not None and self.model is not None
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         keys = np.asarray(self.map(pts), dtype=np.float64)
         lo, hi = self.model.search_ranges(keys)
         lo = np.maximum(lo - self._native_inserts, 0)
-        hi = hi + self._native_inserts
-        out = np.empty(len(pts), dtype=bool)
+        hi = np.minimum(hi + self._native_inserts, len(self.store))
         self.query_stats.queries += len(pts)
         self.query_stats.model_invocations += len(pts)
-        for i in range(len(pts)):
-            cand, cand_keys, _ids = self.store.scan(int(lo[i]), int(hi[i]))
-            self.query_stats.points_scanned += len(cand)
-            match = self._key_matches(cand_keys, keys[i])
-            out[i] = bool(np.any(match & np.all(cand == pts[i], axis=1)))
-        return out
+        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+        return batch_point_membership(self.store, lo, hi, keys, pts)
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)

@@ -111,13 +111,20 @@ class FFN:
         if n == 0:
             raise ValueError("cannot compute a loss on an empty batch")
 
-        # Forward pass, caching pre-activation inputs for backprop.
+        # Forward pass, caching post-activations and the ReLU masks so the
+        # backward pass reuses them instead of recomputing comparisons.
         activations = [x2]
+        relu_masks: list[np.ndarray] = []
         h = x2
         last = self.n_layers - 1
         for i, (w, b) in enumerate(zip(self.weights, self.biases)):
             z = h @ w + b
-            h = z if i == last else np.maximum(z, 0.0)
+            if i == last:
+                h = z
+            else:
+                mask = z > 0.0
+                h = np.where(mask, z, 0.0)
+                relu_masks.append(mask)
             activations.append(h)
 
         diff = activations[-1] - y2
@@ -132,7 +139,7 @@ class FFN:
             grads[2 * i + 1] = delta.sum(axis=0)
             if i > 0:
                 delta = delta @ self.weights[i].T
-                delta = delta * (activations[i] > 0.0)
+                delta = delta * relu_masks[i - 1]
         return loss, [g for g in grads if g is not None]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,12 @@
+"""Performance subsystem: parallel build execution and batch-query kernels.
+
+ELSI's contribution is shrinking the training set behind each index model;
+this package makes the surrounding *system* costs match — per-partition
+model builds dispatch through a configurable :class:`MapExecutor`
+(serial / thread / process / fused backends) and batch point lookups run
+through vectorised gather kernels instead of per-query Python loops.
+"""
+
+from repro.perf.executor import MapExecutor, resolve_executor
+
+__all__ = ["MapExecutor", "resolve_executor"]

@@ -1,0 +1,114 @@
+"""Vectorised batch point-query primitives.
+
+The per-query loop each index used to run — ``store.scan`` per key, then a
+NumPy membership test over the scanned slice — costs one interpreter
+round-trip per query.  The batch engine here replaces it with three
+vectorised stages over the whole query set:
+
+1. **Group** the per-query predicted scan ranges: clip to the store, sort
+   by lower bound and merge overlapping ``[lo, hi)`` intervals into
+   disjoint groups (pure NumPy, no Python loop over queries).
+2. **Gather** each merged group once — one fused ``store.scan`` per group
+   instead of one per query, so overlapping ranges (common under RMI error
+   bounds and insert widening) are read and charged once.
+3. **Match** all queries at once: because the store is key-sorted, a
+   query's candidates inside its range are the run of rows whose key lies
+   within ``atol`` of the query key (``searchsorted``); the runs are
+   flattened into one coordinate comparison and reduced per query.
+
+Results are exactly the booleans the scalar loop produces: stage 3 checks
+the same key-match and coordinate-equality predicates over the same scan
+interval, and restricting candidates to key-matching rows cannot drop a
+hit because every index maps equal coordinates to bit-equal keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.blocks import BlockStore
+
+__all__ = ["batch_point_membership", "merge_ranges"]
+
+
+def merge_ranges(
+    lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge half-open integer ranges into disjoint sorted groups.
+
+    Empty ranges (``hi <= lo``) are dropped.  Returns the merged groups'
+    ``(starts, ends)`` arrays, sorted ascending.
+    """
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    keep = hi > lo
+    lo, hi = lo[keep], hi[keep]
+    if len(lo) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    order = np.argsort(lo, kind="stable")
+    lo, hi = lo[order], hi[order]
+    running_end = np.maximum.accumulate(hi)
+    # A range starts a new group when it begins past everything seen so far.
+    new_group = np.empty(len(lo), dtype=bool)
+    new_group[0] = True
+    new_group[1:] = lo[1:] > running_end[:-1]
+    starts = lo[new_group]
+    group_last = np.append(np.flatnonzero(new_group)[1:] - 1, len(lo) - 1)
+    ends = running_end[group_last]
+    return starts, ends
+
+
+def batch_point_membership(
+    store: BlockStore,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    query_keys: np.ndarray,
+    query_points: np.ndarray,
+    atol: float = 0.0,
+) -> np.ndarray:
+    """One membership bool per query, given per-query scan ranges.
+
+    Parameters
+    ----------
+    store:
+        The key-sorted store; merged groups are gathered through
+        :meth:`~repro.storage.blocks.BlockStore.scan` so block-read
+        accounting reflects the fused gathers.
+    lo, hi:
+        Per-query half-open scan ranges (model prediction ± error bounds,
+        already widened for inserts); clipped to the store here.
+    query_keys:
+        Mapped key per query (same mapping that keyed the store).
+    query_points:
+        (b, d) query coordinates; a query hits iff some row in its range
+        has a key within ``atol`` of ``query_keys`` and equal coordinates.
+    """
+    n = len(store)
+    b = len(query_keys)
+    lo = np.clip(np.asarray(lo, dtype=np.int64), 0, n)
+    hi = np.clip(np.asarray(hi, dtype=np.int64), 0, n)
+    out = np.zeros(b, dtype=bool)
+    if n == 0 or b == 0:
+        return out
+
+    # One fused gather per merged group (charges block reads once per group).
+    for g_lo, g_hi in zip(*merge_ranges(lo, hi)):
+        store.scan(int(g_lo), int(g_hi))
+
+    # Candidate runs: rows whose key matches, intersected with the range.
+    run_lo = np.searchsorted(store.keys, query_keys - atol, side="left")
+    run_hi = np.searchsorted(store.keys, query_keys + atol, side="right")
+    cand_lo = np.maximum(run_lo, lo)
+    cand_hi = np.minimum(run_hi, hi)
+    counts = np.maximum(cand_hi - cand_lo, 0)
+    total = int(counts.sum())
+    if total == 0:
+        return out
+
+    # Flatten every query's candidate run into one coordinate comparison.
+    owner = np.repeat(np.arange(b), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    rows = np.arange(total) - np.repeat(offsets, counts) + np.repeat(cand_lo, counts)
+    equal = np.all(store.points[rows] == query_points[owner], axis=1)
+    np.logical_or.at(out, owner, equal)
+    return out

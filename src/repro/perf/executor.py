@@ -1,0 +1,170 @@
+"""A configurable map-executor for embarrassingly parallel build jobs.
+
+Per-partition model fits (RMI stage-2 leaves, Flood per-column models, the
+ELSI error-bound measurement pass) are independent jobs today dispatched
+from Python ``for`` loops.  :class:`MapExecutor` gives them one dispatch
+point with interchangeable backends:
+
+``serial``
+    Plain in-process loop; the reference backend every other backend must
+    reproduce bit-for-bit (job functions are pure, so dispatch order
+    cannot change results).
+``thread``
+    A thread pool.  NumPy releases the GIL inside BLAS kernels, so
+    training-heavy jobs overlap on multicore hosts.
+``process``
+    A process pool (fork-based on Linux).  Jobs and results must pickle;
+    sidesteps the GIL entirely at the cost of serialisation.
+``fused``
+    Behaves like ``serial`` for generic :meth:`MapExecutor.map` calls, but
+    signals batch-aware callers (``ModelBuilder.build_models``) to train
+    all same-architecture models in one vectorised pass
+    (:mod:`repro.perf.fused`) — the backend that pays off even on a single
+    core, where thread/process parallelism cannot.
+
+Results always come back in input order regardless of backend or chunking,
+and chunked dispatch (``chunk_size``) amortises per-job overhead for large
+fan-outs.
+
+Backend selection: the ``REPRO_PARALLELISM`` environment variable
+(``backend`` or ``backend:workers``, e.g. ``thread:4``) overrides
+``ELSIConfig.parallelism``; see :func:`resolve_executor`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["BACKENDS", "ENV_VAR", "MapExecutor", "resolve_executor"]
+
+ENV_VAR = "REPRO_PARALLELISM"
+BACKENDS = ("serial", "thread", "process", "fused")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
+    """Module-level chunk worker so the process backend can pickle it."""
+    return [fn(item) for item in chunk]
+
+
+class MapExecutor:
+    """Deterministic, order-stable ``map`` over independent jobs.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`BACKENDS`.
+    max_workers:
+        Pool size for thread/process backends (default ``os.cpu_count()``).
+    chunk_size:
+        Jobs per dispatched chunk; ``None`` picks ``ceil(len / (4 *
+        workers))`` so each worker sees a few chunks (load balancing)
+        without per-job dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "MapExecutor":
+        """Parse ``"backend"`` or ``"backend:workers"`` (e.g. ``thread:4``)."""
+        name, _, workers = spec.strip().lower().partition(":")
+        max_workers = None
+        if workers:
+            try:
+                max_workers = int(workers)
+            except ValueError as exc:
+                raise ValueError(
+                    f"worker count in {spec!r} must be an integer"
+                ) from exc
+        return cls(backend=name, max_workers=max_workers)
+
+    @property
+    def workers(self) -> int:
+        """Effective pool size."""
+        if self.backend in ("serial", "fused"):
+            return 1
+        return self.max_workers or os.cpu_count() or 1
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """``[fn(x) for x in items]`` with the configured backend.
+
+        Results are returned in input order for every backend; a job that
+        raises propagates its exception to the caller.
+        """
+        jobs = list(items)
+        if not jobs:
+            return []
+        if self.backend in ("serial", "fused") or len(jobs) == 1 or self.workers == 1:
+            return [fn(item) for item in jobs]
+
+        chunks = self._chunked(jobs)
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                chunk_results = list(
+                    pool.map(lambda c: _apply_chunk(fn, c), chunks)
+                )
+        else:  # process
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                chunk_results = list(
+                    pool.map(_apply_chunk, [fn] * len(chunks), chunks)
+                )
+        return [result for chunk in chunk_results for result in chunk]
+
+    def _chunked(self, jobs: list[T]) -> list[list[T]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(jobs) // (4 * self.workers)))
+        return [jobs[i : i + size] for i in range(0, len(jobs), size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MapExecutor(backend={self.backend!r}, max_workers={self.max_workers},"
+            f" chunk_size={self.chunk_size})"
+        )
+
+
+def resolve_executor(
+    executor: "MapExecutor | str | None" = None,
+    *,
+    default_workers: int | None = None,
+) -> MapExecutor:
+    """Resolve the executor to use, honouring the environment override.
+
+    Precedence: ``REPRO_PARALLELISM`` environment variable (highest), then
+    ``executor`` (a :class:`MapExecutor`, a backend spec string such as
+    ``"thread:4"``, or ``None``), then the serial default.  This is how
+    ``ELSIConfig.parallelism`` and the env override interact: the config
+    value is passed as ``executor`` and loses to the env variable, so a
+    deployment can force a backend without touching code.
+    """
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        return MapExecutor.from_spec(spec)
+    if isinstance(executor, MapExecutor):
+        return executor
+    if isinstance(executor, str):
+        parsed = MapExecutor.from_spec(executor)
+        if parsed.max_workers is None and default_workers is not None:
+            parsed.max_workers = default_workers
+        return parsed
+    return MapExecutor(backend="serial")

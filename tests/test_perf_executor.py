@@ -1,0 +1,156 @@
+"""Tests for the parallel build executor (repro.perf.executor / fused)."""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import ZMIndex
+from repro.ml.ffn import FFN
+from repro.ml.trainer import TrainConfig, train_regressor
+from repro.perf.executor import ENV_VAR, MapExecutor, resolve_executor
+from repro.perf.fused import can_fuse, train_regressors_fused
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# MapExecutor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "fused"])
+def test_map_preserves_input_order(backend):
+    ex = MapExecutor(backend=backend, max_workers=2)
+    items = list(range(37))
+    assert ex.map(_square, items) == [x * x for x in items]
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, 100])
+def test_map_order_stable_across_chunk_sizes(chunk_size):
+    ex = MapExecutor(backend="thread", max_workers=3, chunk_size=chunk_size)
+    items = list(range(25))
+    assert ex.map(_square, items) == [x * x for x in items]
+
+
+def test_map_empty_and_singleton():
+    ex = MapExecutor(backend="process", max_workers=2)
+    assert ex.map(_square, []) == []
+    assert ex.map(_square, [7]) == [49]
+
+
+def test_chunking_covers_all_jobs():
+    ex = MapExecutor(backend="thread", max_workers=2, chunk_size=4)
+    chunks = ex._chunked(list(range(10)))
+    assert [len(c) for c in chunks] == [4, 4, 2]
+    assert [x for c in chunks for x in c] == list(range(10))
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        MapExecutor(backend="gpu")
+    with pytest.raises(ValueError, match="max_workers"):
+        MapExecutor(backend="thread", max_workers=0)
+
+
+def test_from_spec_parses_workers():
+    ex = MapExecutor.from_spec("thread:4")
+    assert ex.backend == "thread"
+    assert ex.max_workers == 4
+    assert MapExecutor.from_spec("serial").max_workers is None
+    with pytest.raises(ValueError, match="integer"):
+        MapExecutor.from_spec("thread:many")
+
+
+# ----------------------------------------------------------------------
+# resolve_executor + environment override
+# ----------------------------------------------------------------------
+def test_resolve_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_executor(None).backend == "serial"
+    assert resolve_executor("thread:2").backend == "thread"
+    passed = MapExecutor(backend="fused")
+    assert resolve_executor(passed) is passed
+
+
+def test_env_variable_wins(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "thread:3")
+    ex = resolve_executor(MapExecutor(backend="process", max_workers=8))
+    assert ex.backend == "thread"
+    assert ex.max_workers == 3
+
+
+def test_config_validates_parallelism():
+    assert ELSIConfig(parallelism="thread").parallelism == "thread"
+    with pytest.raises(ValueError, match="parallelism"):
+        ELSIConfig(parallelism="gpu")
+    with pytest.raises(ValueError, match="parallel_workers"):
+        ELSIConfig(parallel_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Backend-identical builds
+# ----------------------------------------------------------------------
+def _build(points, backend):
+    config = ELSIConfig(train_epochs=60, parallelism=backend, parallel_workers=2)
+    return ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=4
+    ).build(points)
+
+
+def _model_state(index):
+    return [
+        (m.err_l, m.err_u, [w.copy() for w in m.net.weights])
+        for m in index.model.models
+    ]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_build_bit_identical_to_serial(osm_points, backend, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    serial = _model_state(_build(osm_points, "serial"))
+    other = _model_state(_build(osm_points, backend))
+    assert len(serial) == len(other)
+    for (el_a, eu_a, ws_a), (el_b, eu_b, ws_b) in zip(serial, other):
+        assert el_a == el_b and eu_a == eu_b
+        for wa, wb in zip(ws_a, ws_b):
+            np.testing.assert_array_equal(wa, wb)
+
+
+def test_fused_build_answers_queries(osm_points, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    index = _build(osm_points, "fused")
+    assert index.point_queries(osm_points[:300]).all()
+    assert not index.point_queries(osm_points[:50] + 2.0).any()
+
+
+# ----------------------------------------------------------------------
+# Fused trainer
+# ----------------------------------------------------------------------
+def test_fused_training_close_to_serial():
+    rng = np.random.default_rng(3)
+    config = TrainConfig(epochs=120)
+    xs = [np.sort(rng.random(200 + 30 * i)) for i in range(3)]
+    ys = [np.linspace(0.0, 1.0, len(x)) for x in xs]
+
+    fused_nets = [FFN([1, 16, 1], seed=i) for i in range(3)]
+    assert can_fuse(fused_nets, config)
+    result = train_regressors_fused(fused_nets, xs, ys, config)
+    assert len(result.final_losses) == 3
+
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        serial_net = FFN([1, 16, 1], seed=i)
+        train_regressor(serial_net, x, y, config)
+        np.testing.assert_allclose(
+            fused_nets[i].predict(x), serial_net.predict(x), atol=1e-6
+        )
+
+
+def test_can_fuse_rejects_mixed_architectures():
+    config = TrainConfig(epochs=10)
+    assert not can_fuse([FFN([1, 16, 1])], config)
+    assert not can_fuse([FFN([1, 16, 1]), FFN([1, 8, 1])], config)
+    assert not can_fuse(
+        [FFN([1, 16, 1]), FFN([1, 16, 1])], TrainConfig(epochs=10, batch_size=32)
+    )

@@ -1,0 +1,93 @@
+"""Batch/serial parity properties for every index with a vectorised
+``point_queries``, plus the scalar lo-clamp regression (inserts near rank 0)."""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import FloodIndex, LISAIndex, MLIndex, RSMIIndex, ZMIndex
+
+INDEX_CLASSES = {
+    cls.name: cls for cls in (ZMIndex, MLIndex, LISAIndex, FloodIndex, RSMIIndex)
+}
+SUPPORTS_INSERT = {"ZM", "ML", "LISA", "RSMI"}
+
+
+@pytest.fixture(scope="module")
+def built(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    return {
+        name: cls(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+        for name, cls in INDEX_CLASSES.items()
+    }
+
+
+def _mixed_workload(points, rng):
+    """Hits, far misses, and near-misses (indexed coords with one nudged)."""
+    near = points[100:150].copy()
+    near[:, 1] += 1e-7
+    return np.vstack([points[::13], rng.random((60, 2)) * 2.0, near])
+
+
+@pytest.mark.parametrize("name", sorted(INDEX_CLASSES))
+def test_batch_equals_scalar_loop(built, osm_points, name):
+    index = built[name]
+    batch = _mixed_workload(osm_points, np.random.default_rng(11))
+    expected = np.array([index.point_query(p) for p in batch], dtype=bool)
+    np.testing.assert_array_equal(index.point_queries(batch), expected)
+    # Sanity: the workload actually mixes hits and misses.
+    assert expected.any() and not expected.all()
+
+
+@pytest.mark.parametrize("name", sorted(SUPPORTS_INSERT))
+def test_batch_equals_scalar_after_inserts(osm_points, name):
+    config = ELSIConfig(train_epochs=80)
+    index = INDEX_CLASSES[name](
+        builder=ELSIModelBuilder(config, method="SP")
+    ).build(osm_points)
+    rng = np.random.default_rng(23)
+    extra = rng.random((30, 2))
+    for p in extra:
+        index.insert(p)
+    batch = np.vstack([extra, _mixed_workload(osm_points, rng)])
+    expected = np.array([index.point_query(p) for p in batch], dtype=bool)
+    np.testing.assert_array_equal(index.point_queries(batch), expected)
+    assert expected[:30].all()  # inserted points are all found
+
+
+@pytest.mark.parametrize("name", ["ZM", "ML"])
+def test_scalar_lo_clamp_with_inserts_near_rank_zero(osm_points, name):
+    """Regression: ``lo -= native_inserts`` used to go negative for keys
+    predicted near rank 0, corrupting the points-scanned accounting and
+    diverging from the clamped batch path."""
+    config = ELSIConfig(train_epochs=80)
+    index = INDEX_CLASSES[name](
+        builder=ELSIModelBuilder(config, method="SP")
+    ).build(osm_points)
+    order = np.argsort(index.store.keys, kind="stable")
+    smallest = index.store.points[order[:5]]
+    for p in smallest + 1e-9:  # land next to the smallest keys
+        index.insert(p)
+
+    before = index.query_stats.points_scanned
+    for p in smallest:
+        assert index.point_query(p)
+    scanned = index.query_stats.points_scanned - before
+    # A negative `lo` would overstate the scan by up to `inserts` points
+    # per query relative to what the store can actually return.
+    assert 0 <= scanned <= 5 * len(index.store)
+    np.testing.assert_array_equal(
+        index.point_queries(smallest),
+        np.array([index.point_query(p) for p in smallest], dtype=bool),
+    )
+
+
+def test_batch_stats_accounting(built, osm_points):
+    index = built["ZM"]
+    index.query_stats.reset()
+    batch = osm_points[:64]
+    index.point_queries(batch)
+    assert index.query_stats.queries == 64
+    assert index.query_stats.model_invocations >= 64
+    assert index.query_stats.points_scanned > 0
