@@ -1,0 +1,171 @@
+"""Serving throughput benchmark: micro-batching vs one-at-a-time.
+
+Builds a ZM index, then drives :class:`repro.serve.IndexServer` with the
+closed-loop in-process driver across a sweep of batch-formation windows
+(``max_wait_seconds``) and compares against the unbatched baseline (a
+single thread calling the scalar query APIs one request at a time).
+Every configuration is run twice: quiescent, and with a concurrent
+updater thread feeding inserts (which periodically triggers background
+rebuilds and generation swaps) — serving throughput with updates in
+flight is the number that matters for a live system.
+
+Writes machine-readable ``BENCH_serve.json``.  Run from the repo root
+(scale via ``REPRO_SCALE=smoke|default|large``):
+
+    PYTHONPATH=src REPRO_SCALE=default python benchmarks/bench_serve_throughput.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import ExperimentScale
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.core.update_processor import UpdateProcessor
+from repro.indices import ZMIndex
+from repro.serve import IndexServer, ServeConfig, ServeWorkload, run_baseline, run_closed_loop
+
+#: Batch-formation windows swept by the benchmark (seconds).  0 serves
+#: whatever is queued immediately; larger windows buy bigger batches.
+WAIT_WINDOWS = (0.0, 0.0005, 0.002, 0.008)
+MAX_BATCH_SIZE = 256
+CLIENTS = 8
+PIPELINE = 128
+
+
+def _build(points: np.ndarray, scale: ExperimentScale) -> ZMIndex:
+    config = ELSIConfig(train_epochs=scale.train_epochs)
+    return ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(points)
+
+
+def _point_workload(points: np.ndarray, n_requests: int) -> ServeWorkload:
+    rng = np.random.default_rng(7)
+    return ServeWorkload.points_only(points[rng.integers(0, len(points), size=n_requests)])
+
+
+def _serve_once(
+    index: ZMIndex,
+    workload: ServeWorkload,
+    wait: float,
+    with_updates: bool,
+    n_updates: int,
+) -> dict:
+    config = ServeConfig(
+        max_batch_size=MAX_BATCH_SIZE,
+        max_wait_seconds=wait,
+        rebuild_check_every=max(n_updates // 4, 1),
+    )
+    server = IndexServer(index, config, elsi_config=ELSIConfig())
+    rng = np.random.default_rng(11)
+    updates = rng.uniform(0.0, 1.0, size=(n_updates, 2))
+    with server:
+        stop = threading.Event()
+
+        def feeder() -> None:
+            for p in updates:
+                if stop.is_set():
+                    return
+                server.insert(p)
+                time.sleep(0)  # yield so queries interleave
+
+        threads = []
+        if with_updates:
+            threads.append(threading.Thread(target=feeder, name="bench-updates"))
+            # Force one rebuild + generation swap mid-run so the measured
+            # throughput genuinely includes serving-while-rebuilding (the
+            # drift heuristic alone may not fire within a short benchmark).
+            threads.append(
+                threading.Thread(target=server.rebuild_now, name="bench-rebuild")
+            )
+            for t in threads:
+                t.start()
+        result = run_closed_loop(server, workload, clients=CLIENTS, pipeline=PIPELINE)
+        stop.set()
+        for t in threads:
+            t.join()
+        stats = server.stats.snapshot()
+    return {
+        "max_wait_seconds": wait,
+        "max_batch_size": MAX_BATCH_SIZE,
+        "with_updates": with_updates,
+        "throughput": result.throughput,
+        "seconds": result.elapsed_seconds,
+        "errors": result.errors,
+        "mean_batch_size": stats["mean_batch_size"],
+        "p50_latency_seconds": stats["latency"]["p50_seconds"],
+        "p99_latency_seconds": stats["latency"]["p99_seconds"],
+        "inserts": stats["inserts"],
+        "rebuilds": stats["rebuilds"],
+        "generation_swaps": stats["generation_swaps"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_serve.json", help="where to write the results"
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_env(default="default")
+    from repro.data import load_dataset
+
+    points = load_dataset("OSM1", scale.n)
+    n_requests = max(scale.n_point_queries * 10, 2_000)
+    n_updates = max(scale.n // 20, 50)
+    print(f"scale={scale.name} n={scale.n} requests={n_requests} cpus={os.cpu_count()}")
+
+    index = _build(points, scale)
+    workload = _point_workload(points, n_requests)
+
+    baseline = run_baseline(UpdateProcessor(index, ELSIConfig()), workload)
+    print(f"baseline (unbatched loop): {baseline.throughput:,.0f} req/s")
+
+    results = []
+    best_speedup = 0.0
+    for with_updates in (False, True):
+        for wait in WAIT_WINDOWS:
+            record = _serve_once(index, workload, wait, with_updates, n_updates)
+            record["speedup_vs_baseline"] = record["throughput"] / baseline.throughput
+            best_speedup = max(best_speedup, record["speedup_vs_baseline"])
+            results.append(record)
+            tag = "updates" if with_updates else "quiescent"
+            print(
+                f"wait={wait*1e3:5.1f}ms {tag:9s} "
+                f"{record['throughput']:>10,.0f} req/s "
+                f"batch={record['mean_batch_size']:6.1f} "
+                f"p99={record['p99_latency_seconds']*1e3:6.2f}ms "
+                f"rebuilds={record['rebuilds']} "
+                f"speedup={record['speedup_vs_baseline']:.1f}x"
+            )
+
+    payload = {
+        "benchmark": "bench_serve_throughput",
+        "scale": scale.name,
+        "n": scale.n,
+        "n_requests": n_requests,
+        "n_updates": n_updates,
+        "clients": CLIENTS,
+        "pipeline": PIPELINE,
+        "cpu_count": os.cpu_count(),
+        "baseline": {
+            "throughput": baseline.throughput,
+            "seconds": baseline.elapsed_seconds,
+        },
+        "best_speedup_vs_baseline": best_speedup,
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output} (best speedup {best_speedup:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

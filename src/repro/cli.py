@@ -8,6 +8,10 @@ Commands
     Build an index on a data set and report the Section VI cost breakdown.
 ``query``
     Build then run a point/window/kNN workload, reporting latencies.
+``serve``
+    Build an index, start the micro-batching :class:`IndexServer`, and
+    drive it with a closed-loop workload (optionally with concurrent
+    updates and background rebuilds).  No network involved.
 ``experiments``
     List the per-table/figure experiment drivers and how to run them.
 """
@@ -136,6 +140,93 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.core.update_processor import UpdateProcessor
+    from repro.serve import IndexServer, ServeConfig, ServeWorkload, run_closed_loop
+
+    points = load_dataset(args.dataset, args.n, seed=args.seed)
+    index = _make_index(args)
+    print(f"building {args.index} on {args.dataset} (n={args.n}) ...")
+    index.build(points)
+
+    serve_config = ServeConfig(
+        max_batch_size=args.batch_size,
+        max_wait_seconds=args.max_wait_ms / 1e3,
+        worker_threads=args.workers,
+        rebuild_check_every=args.rebuild_check_every,
+    )
+    workload = ServeWorkload.mixed(
+        points,
+        args.requests,
+        point_fraction=args.point_fraction,
+        knn_fraction=args.knn_fraction,
+        k=args.k,
+        seed=args.seed,
+    )
+    rng = np.random.default_rng(args.seed + 1)
+    updates = rng.uniform(0.0, 1.0, size=(args.updates, points.shape[1]))
+
+    server = IndexServer(
+        index,
+        serve_config,
+        elsi_config=ELSIConfig(seed=args.seed),
+        snapshots=args.snapshot_dir,
+    )
+    with server:
+        stop_updates = threading.Event()
+
+        def update_feeder() -> None:
+            for p in updates:
+                if stop_updates.is_set():
+                    return
+                server.insert(p)
+
+        feeder = threading.Thread(target=update_feeder, name="serve-updates")
+        feeder.start()
+        result = run_closed_loop(
+            server, workload, clients=args.clients, pipeline=args.pipeline
+        )
+        stop_updates.set()
+        feeder.join()
+        stats = server.stats.snapshot()
+        final_generation = server.generation
+
+    baseline_result = None
+    if args.baseline:
+        processor = UpdateProcessor(index, ELSIConfig(seed=args.seed))
+        from repro.serve import run_baseline
+
+        baseline_result = run_baseline(processor, workload)
+
+    rows = [
+        ["requests served", f"{result.n_requests}", ""],
+        ["errors", f"{result.errors}", ""],
+        ["throughput", f"{result.throughput:,.0f} req/s", ""],
+        ["mean batch size", f"{stats['mean_batch_size']:.1f}",
+         f"max {stats['max_batch_size']}"],
+        ["latency p50 / p99",
+         f"{stats['latency']['p50_seconds']*1e3:.2f} / "
+         f"{stats['latency']['p99_seconds']*1e3:.2f} ms", ""],
+        ["inserts applied", f"{stats['inserts']}", ""],
+        ["rebuilds (generation)", f"{stats['rebuilds']} (gen {final_generation})",
+         f"{stats['rebuild_seconds']:.2f}s total"],
+    ]
+    if baseline_result is not None:
+        rows.append(["baseline (unbatched)",
+                     f"{baseline_result.throughput:,.0f} req/s",
+                     f"speedup {result.throughput / max(baseline_result.throughput, 1e-9):.1f}x"])
+    print(format_table(
+        ["metric", "value", "notes"],
+        rows,
+        title=(f"serve: {args.index} on {args.dataset} "
+               f"(batch<= {args.batch_size}, wait {args.max_wait_ms}ms, "
+               f"{args.clients} clients x {args.pipeline} pipeline)"),
+    ))
+    return 0
+
+
 def _cmd_experiments(_args: argparse.Namespace) -> int:
     rows = [
         ["Fig. 6", "selector accuracy vs lambda", "benchmarks/bench_fig06_selector.py"],
@@ -184,6 +275,37 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--queries", type=int, default=500)
         p.add_argument("--seed", type=int, default=0)
         p.set_defaults(func=fn)
+
+    p = sub.add_parser("serve", help="serve a built index with micro-batching")
+    p.add_argument("--index", choices=sorted({**_LEARNED, **_TRADITIONAL}), default="ZM")
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="OSM1")
+    p.add_argument("--method", choices=_METHODS, default="RS")
+    p.add_argument("--n", type=int, default=20_000)
+    p.add_argument("--lam", type=float, default=0.8)
+    p.add_argument("--epochs", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=5_000,
+                   help="workload size (closed-loop, in-process)")
+    p.add_argument("--point-fraction", type=float, default=0.8)
+    p.add_argument("--knn-fraction", type=float, default=0.1)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--pipeline", type=int, default=64,
+                   help="outstanding requests per client")
+    p.add_argument("--batch-size", type=int, default=256,
+                   help="admission control: max requests per micro-batch")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="admission control: batch-formation window")
+    p.add_argument("--workers", type=int, default=1,
+                   help="dispatcher threads (see docs/serving.md)")
+    p.add_argument("--updates", type=int, default=0,
+                   help="concurrent inserts fed while the workload runs")
+    p.add_argument("--rebuild-check-every", type=int, default=512)
+    p.add_argument("--snapshot-dir", default=None,
+                   help="persist generation snapshots to this directory")
+    p.add_argument("--baseline", action="store_true",
+                   help="also time the unbatched one-at-a-time loop")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiments", help="list the paper's experiments")
     p.set_defaults(func=_cmd_experiments)

@@ -223,6 +223,33 @@ class UpdateProcessor:
             return True
         return self.index.point_query(p)
 
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Batch membership merging the side structures with the base
+        index's vectorised path (one model forward pass + fused gathers).
+
+        The side-list map and deletion marks decide their points directly;
+        only the undecided remainder reaches the base index, as one batch.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.zeros(len(pts), dtype=bool)
+        if len(pts) == 0:
+            return out
+        if not self._deleted and not self._inserted_count:
+            return self.index.point_queries(pts)
+        undecided: list[int] = []
+        for i, p in enumerate(pts):
+            key = tuple(float(v) for v in p)
+            if key in self._deleted:
+                continue  # stays False
+            if self._inserted_count.get(key, 0) > 0:
+                out[i] = True
+            else:
+                undecided.append(i)
+        if undecided:
+            rows = np.array(undecided, dtype=np.int64)
+            out[rows] = self.index.point_queries(pts[rows])
+        return out
+
     def window_query(self, window: Rect) -> np.ndarray:
         base = self._filter_deleted(self.index.window_query(window))
         extra = self._inserted_array()
@@ -234,24 +261,45 @@ class UpdateProcessor:
             return extra
         return np.vstack([base, extra])
 
+    def _merge_knn(
+        self, q: np.ndarray, base: np.ndarray, extra: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Rank the base index's (deletion-filtered) answer against the side
+        list and keep the k nearest."""
+        base = self._filter_deleted(base)
+        candidates = [c for c in (base, extra) if len(c)]
+        if not candidates:
+            d = self.index.bounds.ndim if self.index.bounds else 2
+            return np.empty((0, d))
+        merged = np.vstack(candidates)
+        diff = merged - q
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        order = np.argsort(dist, kind="stable")
+        return merged[order[: min(k, len(order))]]
+
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         q = np.asarray(point, dtype=np.float64)
         # Ask the base for enough extra neighbours to absorb deletions.
         base = self.index.knn_query(q, k + len(self._deleted))
-        base = self._filter_deleted(base)
-        candidates = [base]
+        return self._merge_knn(q, base, self._inserted_array(), k)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        """Batch kNN: the base index answers the whole batch at once (the
+        vectorised expanding-window path where available), then each
+        query's answer is merged with the side list."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return []
+        base_results = self.index.knn_queries(pts, k + len(self._deleted))
         extra = self._inserted_array()
-        if len(extra):
-            candidates.append(extra)
-        merged = np.vstack([c for c in candidates if len(c)])
-        if len(merged) == 0:
-            return merged
-        diff = merged - q
-        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        order = np.argsort(dist, kind="stable")
-        return merged[order[: min(k, len(order))]]
+        return [
+            self._merge_knn(q, base, extra, k)
+            for q, base in zip(pts, base_results)
+        ]
 
     # ------------------------------------------------------------------
     # Rebuild (the to_rebuild / build APIs of Figure 3)

@@ -577,7 +577,20 @@ class LearnedSpatialIndex(ABC):
         for the whole batch).
         """
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
         return np.array([self.point_query(p) for p in pts], dtype=bool)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        """Batch kNN: one ``(m, d)`` result array per query row.
+
+        The default loops over :meth:`knn_query`; indices answering kNN by
+        the expanding-window strategy override it with
+        :meth:`_knn_by_expanding_window_batch`, which shares the radius
+        expansion and distance ranking across the whole batch.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return [self.knn_query(p, k) for p in pts]
 
     def insert(self, point: np.ndarray) -> None:
         """Built-in insertion procedure (Section IV-B2 / Figure 15).
@@ -644,3 +657,68 @@ class LearnedSpatialIndex(ABC):
                 order = np.argsort(dist, kind="stable")
                 return candidates[order]
             side *= 2.0
+
+    def _knn_by_expanding_window_batch(
+        self, points: np.ndarray, k: int
+    ) -> list[np.ndarray]:
+        """Vectorised expanding-window kNN over a query batch.
+
+        The per-query radius-expansion loop becomes one loop over
+        *expansion rounds* shared by the whole batch: each round gathers
+        the active queries' window candidates, ranks every candidate in a
+        single flattened distance computation + lexsort (owner-major,
+        distance-minor — stable, so results match the per-query path
+        exactly), retires the queries whose k-th distance is covered by
+        the window inradius, and doubles the remaining sides.  Queries
+        finish independently, so one slow region never re-scans the rest.
+        """
+        self._check_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        b = len(pts)
+        if b == 0:
+            return []
+        assert self.bounds is not None
+        d = self.bounds.ndim
+        volume = self.bounds.area()
+        density = self.n_points / volume if volume > 0 else self.n_points
+        side = np.full(b, (k / max(density, 1e-12)) ** (1.0 / d))
+        max_side = float(self.bounds.extents.max()) * 2.0 + 1e-9
+        results: list[np.ndarray | None] = [None] * b
+        active = np.arange(b)
+        while len(active):
+            cand = [
+                self.window_query(Rect.centered(pts[qi], float(side[qi])))
+                for qi in active
+            ]
+            counts = np.array([len(c) for c in cand], dtype=np.int64)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            if counts.sum():
+                flat = np.vstack([c for c in cand if len(c)])
+                owner = np.repeat(np.arange(len(active)), counts)
+                diff = flat - pts[active][owner]
+                dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+                order = np.lexsort((dist, owner))
+                flat = flat[order]
+                dist = dist[order]
+            still: list[int] = []
+            for j, qi in enumerate(active):
+                c = int(counts[j])
+                s = float(side[qi])
+                start = int(offsets[j])
+                if c >= k:
+                    if dist[start + k - 1] <= s / 2.0 or s > max_side:
+                        results[qi] = flat[start : start + k].copy()
+                        continue
+                elif s > max_side:
+                    results[qi] = (
+                        flat[start : start + c].copy() if c else np.empty((0, d))
+                    )
+                    continue
+                still.append(int(qi))
+            if still:
+                side[still] *= 2.0
+            active = np.array(still, dtype=np.int64)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

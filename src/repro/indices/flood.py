@@ -194,6 +194,8 @@ class FloodIndex(LearnedSpatialIndex):
         forward pass and one fused range-gather per visited column."""
         self._check_built()
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
         out = np.zeros(len(pts), dtype=bool)
         self.query_stats.queries += len(pts)
         columns = self._column_of(pts[:, 0])
@@ -237,6 +239,9 @@ class FloodIndex(LearnedSpatialIndex):
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        return self._knn_by_expanding_window_batch(points, k)
 
     def indexed_points(self) -> np.ndarray:
         self._check_built()

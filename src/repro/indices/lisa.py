@@ -187,6 +187,8 @@ class LISAIndex(LearnedSpatialIndex):
         self._check_built()
         assert self.store is not None and self.model is not None
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
         keys = np.asarray(self.map(pts), dtype=np.float64)
         lo, hi = self.model.search_ranges(keys)
         # Vectorised _shard_aligned: widen by inserts, round to whole shards.
@@ -252,6 +254,9 @@ class LISAIndex(LearnedSpatialIndex):
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        return self._knn_by_expanding_window_batch(points, k)
 
     def indexed_points(self) -> np.ndarray:
         """Every indexed point in storage (key) order."""

@@ -123,6 +123,8 @@ class MLIndex(LearnedSpatialIndex):
         self._check_built()
         assert self.store is not None and self.model is not None
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
         keys = np.asarray(self.map(pts), dtype=np.float64)
         lo, hi = self.model.search_ranges(keys)
         lo = np.maximum(lo - self._native_inserts, 0)

@@ -163,6 +163,8 @@ class ZMIndex(LearnedSpatialIndex):
         self._check_built()
         assert self.store is not None and self.model is not None
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
         keys = np.asarray(self.map(pts), dtype=np.float64)
         lo, hi = self.model.search_ranges(keys)
         lo = np.maximum(lo - self._native_inserts, 0)
@@ -174,6 +176,9 @@ class ZMIndex(LearnedSpatialIndex):
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        return self._knn_by_expanding_window_batch(points, k)
 
     def indexed_points(self) -> np.ndarray:
         """Every indexed point in storage (key) order."""

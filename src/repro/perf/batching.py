@@ -85,10 +85,19 @@ def batch_point_membership(
     """
     n = len(store)
     b = len(query_keys)
+    out = np.zeros(b, dtype=bool)
+    # Serving-path edge cases: an empty request batch has nothing to do,
+    # and a single-point batch degenerates to the scalar predict-and-scan
+    # (one store.scan, no range merging or flattened-run bookkeeping).
+    if n == 0 or b == 0:
+        return out
     lo = np.clip(np.asarray(lo, dtype=np.int64), 0, n)
     hi = np.clip(np.asarray(hi, dtype=np.int64), 0, n)
-    out = np.zeros(b, dtype=bool)
-    if n == 0 or b == 0:
+    if b == 1:
+        pts, keys, _ids = store.scan(int(lo[0]), int(hi[0]))
+        if len(pts):
+            match = np.abs(keys - query_keys[0]) <= atol
+            out[0] = bool(np.any(match & np.all(pts == query_points[0], axis=1)))
         return out
 
     # One fused gather per merged group (charges block reads once per group).

@@ -1,0 +1,37 @@
+"""The serving subsystem: micro-batched concurrent query serving.
+
+Built indices answer requests through an :class:`IndexServer`, which
+coalesces queued point/window/kNN requests into micro-batches and runs
+them down the vectorised batch paths; rebuilds happen in a background
+worker and swap in atomically behind a generation pointer; snapshots
+persist generations through :mod:`repro.storage.persist`.
+"""
+
+from repro.serve.driver import (
+    DriverResult,
+    ServeWorkload,
+    run_baseline,
+    run_closed_loop,
+)
+from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
+from repro.serve.server import Generation, IndexServer, ServeConfig
+from repro.serve.snapshots import SnapshotManager
+from repro.serve.stats import LatencyHistogram, ServerStats
+
+__all__ = [
+    "DriverResult",
+    "Generation",
+    "IndexServer",
+    "KNN",
+    "LatencyHistogram",
+    "POINT",
+    "Reply",
+    "Request",
+    "ServeConfig",
+    "ServeWorkload",
+    "ServerStats",
+    "SnapshotManager",
+    "WINDOW",
+    "run_baseline",
+    "run_closed_loop",
+]

@@ -1,0 +1,101 @@
+"""Request and reply types flowing through the serving queue.
+
+A request is one client operation (point membership, window, kNN, or an
+update) plus a :class:`Reply` — a miniature single-assignment future the
+dispatcher completes once the micro-batch containing the request has been
+answered.  Replies record submission/completion timestamps and the
+generation that answered them, which is what the swap-under-load tests
+assert on: every reply names exactly one generation, and all replies of
+one micro-batch name the same one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spatial.rect import Rect
+
+__all__ = ["KNN", "POINT", "Reply", "Request", "WINDOW"]
+
+POINT = "point"
+WINDOW = "window"
+KNN = "knn"
+
+KINDS = (POINT, WINDOW, KNN)
+
+
+class Reply:
+    """Single-assignment completion handle for one request."""
+
+    __slots__ = (
+        "_event",
+        "value",
+        "error",
+        "generation",
+        "submitted_at",
+        "completed_at",
+    )
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+        self.generation: int | None = None
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+
+    def resolve(self, value, generation: int) -> None:
+        """Complete the reply with a result (dispatcher side)."""
+        self.value = value
+        self.generation = generation
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def reject(self, error: BaseException) -> None:
+        """Complete the reply with an error (dispatcher side)."""
+        self.error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None):
+        """Block until completed; returns the value or raises the error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submit-to-complete wall clock (only valid once done)."""
+        assert self.completed_at is not None
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class Request:
+    """One queued operation; exactly one payload field is meaningful."""
+
+    kind: str
+    point: np.ndarray | None = None
+    window: Rect | None = None
+    k: int = 0
+    reply: Reply = field(default_factory=Reply)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.kind == KNN and self.k < 1:
+            raise ValueError(f"kNN requests need k >= 1, got {self.k}")
+        if self.kind == WINDOW:
+            if self.window is None:
+                raise ValueError("window requests need a window")
+        elif self.point is None:
+            raise ValueError(f"{self.kind} requests need a point")

@@ -1,0 +1,81 @@
+"""On-disk snapshots of served indices, numbered by generation.
+
+A serving deployment reopens indices far more often than it rebuilds them
+(the ELSI premise), so the server persists each generation through
+:mod:`repro.storage.persist` and reloads the latest on restart.  Writes
+are atomic — the ``.npz`` is written to a temporary name in the same
+directory and renamed into place — so a crash mid-save can never leave a
+half-written snapshot as the latest generation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro.storage.persist import load_index, save_index
+
+__all__ = ["SnapshotManager"]
+
+_SNAPSHOT_RE = re.compile(r"^gen-(\d+)\.npz$")
+
+
+class SnapshotManager:
+    """A directory of ``gen-NNNNNN.npz`` index snapshots."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, generation: int) -> Path:
+        return self.directory / f"gen-{generation:06d}.npz"
+
+    def generations(self) -> list[int]:
+        """Snapshot generation ids present on disk, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self) -> int | None:
+        generations = self.generations()
+        return generations[-1] if generations else None
+
+    # ------------------------------------------------------------------
+    def save(self, index, generation: int) -> Path:
+        """Atomically persist ``index`` as snapshot ``generation``."""
+        final = self.path_for(generation)
+        tmp = self.directory / f".gen-{generation:06d}.tmp.npz"
+        save_index(index, tmp)
+        os.replace(tmp, final)
+        return final
+
+    def load(self, generation: int | None = None):
+        """Load snapshot ``generation`` (default: latest).
+
+        Returns ``(index, generation)``; raises ``FileNotFoundError`` when
+        the directory holds no snapshots (or not the requested one).
+        """
+        if generation is None:
+            generation = self.latest()
+            if generation is None:
+                raise FileNotFoundError(f"no snapshots in {self.directory}")
+        path = self.path_for(generation)
+        if not path.exists():
+            raise FileNotFoundError(f"no snapshot for generation {generation}: {path}")
+        return load_index(path), generation
+
+    def prune(self, keep: int = 3) -> list[Path]:
+        """Delete all but the newest ``keep`` snapshots; returns removals."""
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        removed = []
+        for generation in self.generations()[:-keep]:
+            path = self.path_for(generation)
+            path.unlink()
+            removed.append(path)
+        return removed

@@ -1,0 +1,169 @@
+"""The server's stats surface: per-stage counters + latency histograms.
+
+Everything here is cheap enough to record on the hot path (a lock, a few
+integer increments, one bucket index per latency sample) and structured
+enough for benchmarks and tests to assert on: :meth:`ServerStats.snapshot`
+returns a plain JSON-able dict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServerStats"]
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram (1 µs .. ~134 s, doubling buckets).
+
+    Percentiles are estimated from bucket upper bounds — pessimistic by at
+    most one doubling, which is plenty for serving dashboards and for the
+    benchmark's p50/p99 columns.  Exact count/total/max are kept alongside.
+    """
+
+    BASE = 1e-6
+    N_BUCKETS = 28
+
+    def __init__(self) -> None:
+        self.counts = np.zeros(self.N_BUCKETS, dtype=np.int64)
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        bucket = 0
+        scaled = seconds / self.BASE
+        while scaled > 1.0 and bucket < self.N_BUCKETS - 1:
+            scaled /= 2.0
+            bucket += 1
+        self.counts[bucket] += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def record_many(self, seconds: "list[float] | np.ndarray") -> None:
+        for s in seconds:
+            self.record(float(s))
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the q-th percentile (q in [0, 100])."""
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = max(1, int(np.ceil(q / 100.0 * n)))
+        cumulative = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank))
+        return self.BASE * (2.0 ** (bucket + 1))
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+            "p50_seconds": self.percentile(50),
+            "p99_seconds": self.percentile(99),
+        }
+
+
+class ServerStats:
+    """Counters + histograms accumulated across the server's stages.
+
+    Stages: *admission* (requests enqueued, by kind), *batching* (batches
+    dispatched, their sizes), *service* (per-batch execution time), and
+    the end-to-end request latency.  Updates/rebuilds/snapshots have their
+    own counters so tests can assert the background machinery ran.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted: dict[str, int] = {}
+        self.completed = 0
+        self.errors = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.rebuilds = 0
+        self.rebuild_seconds = 0.0
+        self.generation_swaps = 0
+        self.snapshots_saved = 0
+        self.queue_wait = LatencyHistogram()
+        self.service = LatencyHistogram()
+        self.latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    def note_submit(self, kind: str) -> None:
+        with self._lock:
+            self.submitted[kind] = self.submitted.get(kind, 0) + 1
+
+    def note_update(self, kind: str) -> None:
+        with self._lock:
+            if kind == "insert":
+                self.inserts += 1
+            else:
+                self.deletes += 1
+
+    def note_batch(
+        self,
+        size: int,
+        service_seconds: float,
+        queue_waits: "list[float]",
+        latencies: "list[float]",
+        errors: int = 0,
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.completed += size - errors
+            self.errors += errors
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+            self.service.record(service_seconds)
+            self.queue_wait.record_many(queue_waits)
+            self.latency.record_many(latencies)
+
+    def note_rebuild(self, seconds: float) -> None:
+        with self._lock:
+            self.rebuilds += 1
+            self.rebuild_seconds += seconds
+            self.generation_swaps += 1
+
+    def note_snapshot(self) -> None:
+        with self._lock:
+            self.snapshots_saved += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": dict(self.submitted),
+                "completed": self.completed,
+                "errors": self.errors,
+                "batches": self.batches,
+                "mean_batch_size": self.mean_batch_size,
+                "max_batch_size": self.max_batch_size,
+                "inserts": self.inserts,
+                "deletes": self.deletes,
+                "rebuilds": self.rebuilds,
+                "rebuild_seconds": self.rebuild_seconds,
+                "generation_swaps": self.generation_swaps,
+                "snapshots_saved": self.snapshots_saved,
+                "queue_wait": self.queue_wait.snapshot(),
+                "service": self.service.snapshot(),
+                "latency": self.latency.snapshot(),
+            }

@@ -2,13 +2,15 @@
 
 A production system rebuilds rarely (the whole point of ELSI) and reopens
 often, so built indices must round-trip through storage.  Persistence
-covers the store-based indices (ZM, ML-Index, LISA, Flood) whose state is
-a block store plus trained models; RSMI's recursive structure is saved by
-flattening its node tree.
+covers the store-based indices the serving layer can host — ZM, ML-Index,
+LISA and Flood — whose state is one or more block stores plus trained
+models and a little mapping metadata.  RSMI's recursive node tree has no
+on-disk format yet; :func:`save_index` rejects it with a clear error.
 
 Format: a single ``.npz`` with JSON-encoded structural metadata and numpy
 arrays for points/keys/model weights.  FFN and PLA model states are both
-supported.
+supported.  :func:`save_index` / :func:`load_index` dispatch on the index
+type (saving) and the embedded format tag (loading).
 """
 
 from __future__ import annotations
@@ -19,14 +21,29 @@ from pathlib import Path
 import numpy as np
 
 from repro.indices.base import TrainedModel
+from repro.indices.flood import FloodIndex
+from repro.indices.lisa import LISAIndex
+from repro.indices.ml_index import MLIndex
 from repro.indices.rmi import RMIModel
 from repro.indices.zm import ZMIndex
 from repro.ml.ffn import FFN
 from repro.ml.pla import PiecewiseLinearModel, _Segment
+from repro.spatial.idistance import IDistanceMapping
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
 
-__all__ = ["load_zm_index", "save_zm_index"]
+__all__ = [
+    "load_flood_index",
+    "load_index",
+    "load_lisa_index",
+    "load_ml_index",
+    "load_zm_index",
+    "save_flood_index",
+    "save_index",
+    "save_lisa_index",
+    "save_ml_index",
+    "save_zm_index",
+]
 
 
 def _model_payload(model: TrainedModel, prefix: str, arrays: dict) -> dict:
@@ -90,15 +107,76 @@ def _model_from_payload(meta: dict, prefix: str, arrays) -> TrainedModel:
     return model
 
 
+# ----------------------------------------------------------------------
+# Shared pieces: block stores and RMI hierarchies
+# ----------------------------------------------------------------------
+def _store_arrays(store: BlockStore, prefix: str, arrays: dict) -> None:
+    arrays[f"{prefix}points"] = store.points
+    arrays[f"{prefix}keys"] = store.keys
+    arrays[f"{prefix}ids"] = store.ids
+
+
+def _store_from_arrays(data, prefix: str, block_size: int) -> BlockStore:
+    """Rebuild a store without re-sorting (arrays are already sorted)."""
+    store = BlockStore.__new__(BlockStore)
+    store.points = data[f"{prefix}points"]
+    store.keys = data[f"{prefix}keys"]
+    store.ids = data[f"{prefix}ids"]
+    store.block_size = block_size
+    store._reads = 0
+    return store
+
+
+def _rmi_payload(model: RMIModel, arrays: dict, prefix: str = "m") -> dict:
+    meta = {
+        "stage1": _model_payload(model.stage1, f"{prefix}0", arrays),
+        "stage2": [],
+        "stage2_positions": [],
+        "rmi_n": model.n,
+    }
+    for i, member in enumerate(model.stage2):
+        if member is model.stage1:
+            meta["stage2"].append(None)
+        else:
+            meta["stage2"].append(_model_payload(member, f"{prefix}{i + 1}", arrays))
+        arrays[f"{prefix}pos{i}"] = model._stage2_positions[i]
+        meta["stage2_positions"].append(f"{prefix}pos{i}")
+    return meta
+
+
+def _rmi_from_payload(meta: dict, data, builder, branching: int, prefix: str = "m") -> RMIModel:
+    rmi = RMIModel(builder, branching=branching)
+    rmi.n = meta["rmi_n"]
+    rmi.stage1 = _model_from_payload(meta["stage1"], f"{prefix}0", data)
+    rmi.stage2 = []
+    rmi._stage2_positions = []
+    for i, payload in enumerate(meta["stage2"]):
+        if payload is None:
+            rmi.stage2.append(rmi.stage1)
+        else:
+            rmi.stage2.append(_model_from_payload(payload, f"{prefix}{i + 1}", data))
+        rmi._stage2_positions.append(data[meta["stage2_positions"][i]])
+    return rmi
+
+
+def _write(path: str | Path, meta: dict, arrays: dict) -> None:
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def _read_meta(data) -> dict:
+    return json.loads(bytes(data["meta"].tobytes()).decode())
+
+
+# ----------------------------------------------------------------------
+# ZM
+# ----------------------------------------------------------------------
 def save_zm_index(index: ZMIndex, path: str | Path) -> None:
     """Persist a built ZM index to ``path`` (.npz)."""
     if index.store is None or index.model is None or index.bounds is None:
         raise ValueError("the index must be built before saving")
-    arrays: dict[str, np.ndarray] = {
-        "points": index.store.points,
-        "keys": index.store.keys,
-        "ids": index.store.ids,
-    }
+    arrays: dict[str, np.ndarray] = {}
+    _store_arrays(index.store, "", arrays)
     meta = {
         "format": "repro-zm-v1",
         "bits": index.bits,
@@ -108,26 +186,20 @@ def save_zm_index(index: ZMIndex, path: str | Path) -> None:
         "bounds_lo": list(index.bounds.lo),
         "bounds_hi": list(index.bounds.hi),
         "native_inserts": index._native_inserts,
-        "stage1": _model_payload(index.model.stage1, "m0", arrays),
-        "stage2": [],
-        "stage2_positions": [],
-        "rmi_n": index.model.n,
     }
-    for i, model in enumerate(index.model.stage2):
-        if model is index.model.stage1:
-            meta["stage2"].append(None)
-        else:
-            meta["stage2"].append(_model_payload(model, f"m{i + 1}", arrays))
-        arrays[f"pos{i}"] = index.model._stage2_positions[i]
-        meta["stage2_positions"].append(f"pos{i}")
-    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
-    np.savez_compressed(Path(path), **arrays)
+    meta.update(_rmi_payload(index.model, arrays, prefix="m"))
+    # Legacy "repro-zm-v1" spelling: stage-1 payload under "stage1" etc.
+    # with position arrays named pos{i}; keep the names byte-compatible.
+    for i in range(len(index.model.stage2)):
+        arrays[f"pos{i}"] = arrays.pop(f"mpos{i}")
+        meta["stage2_positions"][i] = f"pos{i}"
+    _write(path, meta, arrays)
 
 
 def load_zm_index(path: str | Path) -> ZMIndex:
     """Load a ZM index saved by :func:`save_zm_index`; queryable immediately."""
     with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta = _read_meta(data)
         if meta.get("format") != "repro-zm-v1":
             raise ValueError(f"not a repro ZM index file: {path}")
         index = ZMIndex(
@@ -138,25 +210,211 @@ def load_zm_index(path: str | Path) -> ZMIndex:
         index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
         index.n_points = meta["n_points"]
         index._native_inserts = meta["native_inserts"]
-        # Rebuild the store without re-sorting (arrays are already sorted).
-        store = BlockStore.__new__(BlockStore)
-        store.points = data["points"]
-        store.keys = data["keys"]
-        store.ids = data["ids"]
-        store.block_size = meta["block_size"]
-        store._reads = 0
-        index.store = store
-
-        rmi = RMIModel(index.builder, branching=meta["branching"])
-        rmi.n = meta["rmi_n"]
-        rmi.stage1 = _model_from_payload(meta["stage1"], "m0", data)
-        rmi.stage2 = []
-        rmi._stage2_positions = []
-        for i, payload in enumerate(meta["stage2"]):
-            if payload is None:
-                rmi.stage2.append(rmi.stage1)
-            else:
-                rmi.stage2.append(_model_from_payload(payload, f"m{i + 1}", data))
-            rmi._stage2_positions.append(data[meta["stage2_positions"][i]])
-        index.model = rmi
+        index.store = _store_from_arrays(data, "", meta["block_size"])
+        index.model = _rmi_from_payload(
+            meta, data, index.builder, meta["branching"], prefix="m"
+        )
     return index
+
+
+# ----------------------------------------------------------------------
+# ML-Index
+# ----------------------------------------------------------------------
+def save_ml_index(index: MLIndex, path: str | Path) -> None:
+    """Persist a built ML-Index to ``path`` (.npz)."""
+    if index.store is None or index.model is None or index.mapping is None:
+        raise ValueError("the index must be built before saving")
+    assert index.bounds is not None
+    arrays: dict[str, np.ndarray] = {"references": index.mapping.references}
+    _store_arrays(index.store, "", arrays)
+    meta = {
+        "format": "repro-ml-v1",
+        "block_size": index.block_size,
+        "n_references": index.n_references,
+        "branching": index.branching,
+        "seed": index.seed,
+        "stretch": index.mapping.stretch,
+        "n_points": index.n_points,
+        "bounds_lo": list(index.bounds.lo),
+        "bounds_hi": list(index.bounds.hi),
+        "native_inserts": index._native_inserts,
+    }
+    meta.update(_rmi_payload(index.model, arrays, prefix="m"))
+    _write(path, meta, arrays)
+
+
+def load_ml_index(path: str | Path) -> MLIndex:
+    """Load an ML-Index saved by :func:`save_ml_index`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data)
+        if meta.get("format") != "repro-ml-v1":
+            raise ValueError(f"not a repro ML index file: {path}")
+        index = MLIndex(
+            block_size=meta["block_size"],
+            n_references=meta["n_references"],
+            branching=meta["branching"],
+            seed=meta["seed"],
+        )
+        index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
+        index.n_points = meta["n_points"]
+        index._native_inserts = meta["native_inserts"]
+        index.mapping = IDistanceMapping(
+            references=data["references"], stretch=meta["stretch"]
+        )
+        index.store = _store_from_arrays(data, "", meta["block_size"])
+        index.model = _rmi_from_payload(
+            meta, data, index.builder, meta["branching"], prefix="m"
+        )
+    return index
+
+
+# ----------------------------------------------------------------------
+# LISA
+# ----------------------------------------------------------------------
+def save_lisa_index(index: LISAIndex, path: str | Path) -> None:
+    """Persist a built LISA index to ``path`` (.npz)."""
+    if index.store is None or index.model is None or index._boundaries is None:
+        raise ValueError("the index must be built before saving")
+    assert index.bounds is not None and index._weights is not None
+    arrays: dict[str, np.ndarray] = {"weights": index._weights}
+    for dim, edges in enumerate(index._boundaries):
+        arrays[f"boundaries{dim}"] = edges
+    _store_arrays(index.store, "", arrays)
+    meta = {
+        "format": "repro-lisa-v1",
+        "block_size": index.block_size,
+        "grid_size": index.grid_size,
+        "shard_size": index.shard_size,
+        "n_axes": len(index._boundaries),
+        "n_points": index.n_points,
+        "bounds_lo": list(index.bounds.lo),
+        "bounds_hi": list(index.bounds.hi),
+        "native_inserts": index._native_inserts,
+    }
+    meta.update(_rmi_payload(index.model, arrays, prefix="m"))
+    _write(path, meta, arrays)
+
+
+def load_lisa_index(path: str | Path) -> LISAIndex:
+    """Load a LISA index saved by :func:`save_lisa_index`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data)
+        if meta.get("format") != "repro-lisa-v1":
+            raise ValueError(f"not a repro LISA index file: {path}")
+        index = LISAIndex(
+            block_size=meta["block_size"],
+            grid_size=meta["grid_size"],
+            shard_size=meta["shard_size"],
+        )
+        index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
+        index.n_points = meta["n_points"]
+        index._native_inserts = meta["native_inserts"]
+        index._boundaries = [
+            data[f"boundaries{dim}"] for dim in range(meta["n_axes"])
+        ]
+        index._weights = data["weights"]
+        index.store = _store_from_arrays(data, "", meta["block_size"])
+        index.model = _rmi_from_payload(meta, data, index.builder, 1, prefix="m")
+    return index
+
+
+# ----------------------------------------------------------------------
+# Flood
+# ----------------------------------------------------------------------
+def save_flood_index(index: FloodIndex, path: str | Path) -> None:
+    """Persist a built Flood index to ``path`` (.npz)."""
+    if index._column_edges is None or index.bounds is None:
+        raise ValueError("the index must be built before saving")
+    arrays: dict[str, np.ndarray] = {"column_edges": index._column_edges}
+    columns = []
+    for c, (store, model) in enumerate(zip(index._stores, index._models)):
+        if store is None or model is None:
+            columns.append(None)
+            continue
+        _store_arrays(store, f"c{c}.", arrays)
+        columns.append(_model_payload(model, f"c{c}.m", arrays))
+    meta = {
+        "format": "repro-flood-v1",
+        "block_size": index.block_size,
+        "n_columns": index.n_columns,
+        "n_points": index.n_points,
+        "bounds_lo": list(index.bounds.lo),
+        "bounds_hi": list(index.bounds.hi),
+        "columns": columns,
+    }
+    _write(path, meta, arrays)
+
+
+def load_flood_index(path: str | Path) -> FloodIndex:
+    """Load a Flood index saved by :func:`save_flood_index`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data)
+        if meta.get("format") != "repro-flood-v1":
+            raise ValueError(f"not a repro Flood index file: {path}")
+        index = FloodIndex(
+            block_size=meta["block_size"], n_columns=meta["n_columns"]
+        )
+        index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
+        index.n_points = meta["n_points"]
+        index._column_edges = data["column_edges"]
+        index._stores = []
+        index._models = []
+        for c, payload in enumerate(meta["columns"]):
+            if payload is None:
+                index._stores.append(None)
+                index._models.append(None)
+                continue
+            index._stores.append(
+                _store_from_arrays(data, f"c{c}.", meta["block_size"])
+            )
+            index._models.append(_model_from_payload(payload, f"c{c}.m", data))
+    return index
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+_SAVERS = {
+    ZMIndex: save_zm_index,
+    MLIndex: save_ml_index,
+    LISAIndex: save_lisa_index,
+    FloodIndex: save_flood_index,
+}
+_LOADERS = {
+    "repro-zm-v1": load_zm_index,
+    "repro-ml-v1": load_ml_index,
+    "repro-lisa-v1": load_lisa_index,
+    "repro-flood-v1": load_flood_index,
+}
+
+
+def save_index(index, path: str | Path) -> None:
+    """Persist any supported built index, dispatching on its type.
+
+    Supports the store-based indices (ZM, ML, LISA, Flood); anything else
+    (RSMI's recursive tree, traditional baselines) raises ``TypeError``
+    naming the supported set.
+    """
+    saver = _SAVERS.get(type(index))
+    if saver is None:
+        supported = ", ".join(sorted(cls.name for cls in _SAVERS))
+        raise TypeError(
+            f"no persistence support for {type(index).__name__}; "
+            f"supported index types: {supported}"
+        )
+    saver(index, path)
+
+
+def load_index(path: str | Path):
+    """Load any index saved by :func:`save_index`, dispatching on format."""
+    with np.load(Path(path)) as data:
+        if "meta" not in data:
+            raise ValueError(f"not a repro index file (no meta entry): {path}")
+        fmt = _read_meta(data).get("format")
+    loader = _LOADERS.get(fmt)
+    if loader is None:
+        known = ", ".join(sorted(_LOADERS))
+        raise ValueError(
+            f"unknown index format {fmt!r} in {path}; known formats: {known}"
+        )
+    return loader(path)

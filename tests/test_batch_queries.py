@@ -72,3 +72,91 @@ def test_batch_after_native_inserts(osm_points):
 def test_single_row_batch(indices, osm_points):
     index = indices["ZM"]
     assert index.point_queries(osm_points[0]).shape == (1,)
+
+
+class TestBatchEdgeCases:
+    """Serving-path edge cases: empty and single-point request batches."""
+
+    @pytest.mark.parametrize("name", ["ZM", "ML", "RSMI", "LISA"])
+    def test_empty_batch(self, indices, name):
+        index = indices[name]
+        out = index.point_queries(np.empty((0, 2)))
+        assert out.shape == (0,)
+        assert out.dtype == bool
+
+    def test_empty_batch_against_empty_store(self, osm_points):
+        from repro.perf.batching import batch_point_membership
+        from repro.storage.blocks import BlockStore
+
+        store = BlockStore(np.empty((0, 2)), np.empty(0))
+        out = batch_point_membership(
+            store, np.empty(0), np.empty(0), np.empty(0), np.empty((0, 2))
+        )
+        assert out.shape == (0,)
+
+    def test_single_point_batch_no_gather(self, indices, osm_points):
+        """A one-request batch must not pay the range-merge machinery —
+        it degenerates to one store scan."""
+        index = indices["ZM"]
+        store = index.store
+        single = index.point_queries(osm_points[:1])
+        scalar = index.point_query(osm_points[0])
+        assert bool(single[0]) == scalar
+        # The single-point fast path charges the same block reads as the
+        # scalar predict-and-scan (one store.scan, no fused gather).
+        store.reset_block_reads()
+        index.point_queries(osm_points[:1])
+        batch_reads = store.block_reads
+        store.reset_block_reads()
+        index.point_query(osm_points[0])
+        assert batch_reads == store.block_reads
+
+    @pytest.mark.parametrize("name", ["ZM", "ML", "RSMI", "LISA"])
+    def test_single_point_matches_scalar(self, indices, osm_points, name):
+        index = indices[name]
+        miss = np.array([[1.7, 1.9]])
+        assert index.point_queries(osm_points[3:4])[0] == index.point_query(
+            osm_points[3]
+        )
+        assert index.point_queries(miss)[0] == index.point_query(miss[0])
+
+
+class TestBatchKNN:
+    """The vectorised expanding-window kNN must agree with the scalar path."""
+
+    @pytest.mark.parametrize("name", ["ZM", "LISA"])
+    def test_batch_knn_matches_scalar(self, indices, osm_points, name):
+        index = indices[name]
+        queries = osm_points[::100]
+        batch = index.knn_queries(queries, 7)
+        assert len(batch) == len(queries)
+        for q, got in zip(queries, batch):
+            np.testing.assert_array_equal(got, index.knn_query(q, 7))
+
+    def test_batch_knn_flood(self, osm_points):
+        from repro.indices import FloodIndex
+
+        config = ELSIConfig(train_epochs=80)
+        index = FloodIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points
+        )
+        queries = osm_points[::200]
+        for q, got in zip(queries, index.knn_queries(queries, 5)):
+            np.testing.assert_array_equal(got, index.knn_query(q, 5))
+
+    def test_batch_knn_k_exceeds_n(self, indices, osm_points):
+        index = indices["ZM"]
+        n = index.n_points
+        results = index.knn_queries(osm_points[:3], n + 10)
+        for got in results:
+            assert len(got) == n
+
+    def test_batch_knn_empty(self, indices):
+        assert indices["ZM"].knn_queries(np.empty((0, 2)), 5) == []
+
+    def test_batch_knn_outside_bounds(self, indices, osm_points):
+        index = indices["ZM"]
+        far = np.array([[5.0, 5.0], [-3.0, 0.5]])
+        batch = index.knn_queries(far, 4)
+        for q, got in zip(far, batch):
+            np.testing.assert_array_equal(got, index.knn_query(q, 4))

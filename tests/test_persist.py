@@ -5,9 +5,14 @@ import pytest
 
 from repro.core.build_processor import ELSIModelBuilder
 from repro.core.config import ELSIConfig
-from repro.indices import PGMBuilder, ZMIndex
+from repro.indices import FloodIndex, LISAIndex, MLIndex, PGMBuilder, RSMIIndex, ZMIndex
 from repro.spatial.rect import Rect
-from repro.storage.persist import load_zm_index, save_zm_index
+from repro.storage.persist import (
+    load_index,
+    load_zm_index,
+    save_index,
+    save_zm_index,
+)
 
 
 @pytest.fixture()
@@ -85,6 +90,60 @@ class TestRoundTrip:
         assert loaded.n_points == built_index.n_points
 
 
+ALL_PERSISTABLE = (ZMIndex, MLIndex, LISAIndex, FloodIndex)
+
+
+class TestGenericDispatch:
+    """save_index/load_index round-trips for every supported index type."""
+
+    @pytest.mark.parametrize("cls", ALL_PERSISTABLE, ids=lambda c: c.name)
+    def test_round_trip_equality(self, cls, osm_points, tmp_path):
+        config = ELSIConfig(train_epochs=80)
+        index = cls(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+        path = tmp_path / f"{cls.name}.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert type(loaded) is cls
+        assert loaded.n_points == index.n_points
+        assert loaded.bounds == index.bounds
+        # Point membership must agree everywhere: hits and misses.
+        rng = np.random.default_rng(3)
+        probes = np.vstack([osm_points[::40], rng.random((30, 2)) + 1.5])
+        np.testing.assert_array_equal(
+            loaded.point_queries(probes), index.point_queries(probes)
+        )
+        # Window answers must be set-equal.
+        window = Rect.centered(np.array([0.5, 0.5]), 0.2)
+        a = np.asarray(sorted(map(tuple, index.window_query(window))))
+        b = np.asarray(sorted(map(tuple, loaded.window_query(window))))
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("cls", ALL_PERSISTABLE, ids=lambda c: c.name)
+    def test_round_trip_knn(self, cls, osm_points, tmp_path):
+        config = ELSIConfig(train_epochs=80)
+        index = cls(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+        path = tmp_path / f"{cls.name}-knn.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        for q in osm_points[::500]:
+            np.testing.assert_array_equal(
+                loaded.knn_query(q, 5), index.knn_query(q, 5)
+            )
+
+    def test_unsupported_type_clear_error(self, osm_points, tmp_path):
+        config = ELSIConfig(train_epochs=60)
+        rsmi = RSMIIndex(builder=ELSIModelBuilder(config, method="SP"))
+        rsmi.build(osm_points[:500])
+        with pytest.raises(TypeError, match="RSMI"):
+            save_index(rsmi, tmp_path / "rsmi.npz")
+
+    def test_zm_specific_loader_still_works(self, built_index, tmp_path):
+        path = tmp_path / "generic-zm.npz"
+        save_index(built_index, path)
+        loaded = load_zm_index(path)
+        assert loaded.n_points == built_index.n_points
+
+
 class TestErrors:
     def test_unbuilt_rejected(self, tmp_path):
         with pytest.raises(ValueError):
@@ -95,3 +154,9 @@ class TestErrors:
         np.savez(path, meta=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
         with pytest.raises(ValueError):
             load_zm_index(path)
+
+    def test_unknown_format_rejected_by_dispatch(self, tmp_path):
+        path = tmp_path / "junk2.npz"
+        np.savez(path, meta=np.frombuffer(b'{"format": "other"}', dtype=np.uint8))
+        with pytest.raises(ValueError, match="other"):
+            load_index(path)

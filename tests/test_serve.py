@@ -1,0 +1,330 @@
+"""Tests for the serving subsystem (micro-batching, generations, snapshots).
+
+The centrepiece is the swap-under-load test: queries keep flowing while a
+background rebuild swaps the generation pointer, and every reply must (a)
+arrive without ever blocking on the rebuild and (b) name exactly one
+generation — no batch may mix pre- and post-swap index state.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.core.update_processor import UpdateProcessor
+from repro.indices import ZMIndex
+from repro.serve import (
+    IndexServer,
+    LatencyHistogram,
+    ServeConfig,
+    ServeWorkload,
+    SnapshotManager,
+    run_baseline,
+    run_closed_loop,
+)
+from repro.spatial.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def built_index(osm_points):
+    config = ELSIConfig(train_epochs=80)
+    return ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+
+
+def _server(index, **kwargs) -> IndexServer:
+    kwargs.setdefault("config", ServeConfig(max_batch_size=64, max_wait_seconds=0.001))
+    return IndexServer(index, elsi_config=ELSIConfig(train_epochs=80), **kwargs)
+
+
+class TestBasicServing:
+    def test_point_queries_match_direct(self, built_index, osm_points):
+        rng = np.random.default_rng(0)
+        misses = rng.random((30, 2)) + 1.5
+        with _server(built_index) as server:
+            hit_replies = [server.submit_point(p) for p in osm_points[:60]]
+            miss_replies = [server.submit_point(p) for p in misses]
+            assert all(r.wait(20) for r in hit_replies)
+            assert not any(r.wait(20) for r in miss_replies)
+
+    def test_window_and_knn_match_direct(self, built_index, osm_points):
+        window = Rect.centered(np.array([0.5, 0.5]), 0.15)
+        with _server(built_index) as server:
+            got = server.window_query(window)
+            assert len(got) == len(built_index.window_query(window))
+            nn = server.knn_query(osm_points[0], 5)
+            np.testing.assert_array_equal(nn, built_index.knn_query(osm_points[0], 5))
+
+    def test_reply_records_generation_and_latency(self, built_index, osm_points):
+        with _server(built_index) as server:
+            reply = server.submit_point(osm_points[0])
+            reply.wait(20)
+            assert reply.generation == server.generation
+            assert reply.latency_seconds >= 0.0
+
+    def test_submit_before_start_rejected(self, built_index, osm_points):
+        server = _server(built_index)
+        with pytest.raises(RuntimeError):
+            server.submit_point(osm_points[0])
+
+    def test_stats_surface(self, built_index, osm_points):
+        with _server(built_index) as server:
+            for p in osm_points[:40]:
+                server.point_query(p)
+            snap = server.stats.snapshot()
+        assert snap["submitted"]["point"] == 40
+        assert snap["completed"] == 40
+        assert snap["errors"] == 0
+        assert snap["batches"] >= 1
+        assert snap["latency"]["count"] == 40
+        assert snap["latency"]["p99_seconds"] >= snap["latency"]["p50_seconds"]
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_wait_seconds=-1.0)
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(ValueError):
+            IndexServer(ZMIndex())
+
+
+class TestUpdates:
+    def test_insert_visible_to_queries(self, built_index):
+        fresh = np.array([0.111, 0.222])
+        with _server(built_index, config=ServeConfig(auto_rebuild=False)) as server:
+            assert not server.point_query(fresh)
+            server.insert(fresh)
+            assert server.point_query(fresh)
+            assert server.delete(fresh)
+            assert not server.point_query(fresh)
+
+    def test_manual_rebuild_swaps_generation(self, osm_points):
+        config = ELSIConfig(train_epochs=60)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points[:800]
+        )
+        server = _server(index, config=ServeConfig(auto_rebuild=False))
+        with server:
+            rng = np.random.default_rng(5)
+            extra = rng.random((50, 2)) * 0.2
+            for p in extra:
+                server.insert(p)
+            g0 = server.generation
+            n0 = server.n_points
+            server.rebuild_now()
+            assert server.generation == g0 + 1
+            assert server.n_points == n0
+            # Every inserted point survives the rebuild.
+            for p in extra:
+                assert server.point_query(p)
+        assert server.stats.rebuilds == 1
+        assert server.stats.generation_swaps == 1
+
+
+class TestSwapUnderLoad:
+    """Queries during a background rebuild never block on it and never see
+    a half-finished generation."""
+
+    def test_queries_flow_and_stay_consistent(self, osm_points):
+        config = ELSIConfig(train_epochs=80)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points[:1500]
+        )
+        server = _server(index, config=ServeConfig(auto_rebuild=False))
+        rng = np.random.default_rng(9)
+        inserts = rng.random((120, 2)) * 0.1
+
+        with server:
+            for p in inserts:
+                server.insert(p)
+            g0 = server.generation
+
+            replies = []
+            stop = threading.Event()
+
+            def query_load() -> None:
+                i = 0
+                while not stop.is_set():
+                    replies.append(server.submit_point(osm_points[i % 1500]))
+                    # Also probe the inserted points: both generations must
+                    # answer True (side list before the swap, base after).
+                    replies.append(server.submit_point(inserts[i % len(inserts)]))
+                    i += 1
+                    time.sleep(0)
+
+            loader = threading.Thread(target=query_load)
+            loader.start()
+            time.sleep(0.02)
+            rebuild_seconds = server.rebuild_now()
+            time.sleep(0.02)
+            stop.set()
+            loader.join()
+
+            assert server.generation == g0 + 1
+            generations = set()
+            max_latency = 0.0
+            for reply in replies:
+                assert reply.wait(30) is True
+                generations.add(reply.generation)
+                max_latency = max(max_latency, reply.latency_seconds)
+            # The load straddled the swap: early replies came from g0, late
+            # ones from g0+1, and nothing else.
+            assert generations <= {g0, g0 + 1}
+            assert g0 + 1 in generations
+            # Queries never waited for the rebuild: even on a slow CI
+            # machine, a reply taking as long as the rebuild itself means
+            # serving was blocked.
+            assert len(replies) > 0
+            assert max_latency < max(rebuild_seconds, 0.05) * 10
+
+    def test_batches_never_mix_generations(self, osm_points):
+        """All replies of one micro-batch name the same generation."""
+        config = ELSIConfig(train_epochs=60)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points[:1000]
+        )
+        server = IndexServer(
+            index,
+            ServeConfig(max_batch_size=32, max_wait_seconds=0.002, auto_rebuild=False),
+            elsi_config=ELSIConfig(train_epochs=60),
+        )
+        with server:
+            rng = np.random.default_rng(2)
+            for p in rng.random((40, 2)) * 0.1:
+                server.insert(p)
+
+            swapping = threading.Thread(target=server.rebuild_now)
+            batches: list[list] = []
+            swapping.start()
+            while swapping.is_alive():
+                window = [server.submit_point(p) for p in osm_points[:32]]
+                for reply in window:
+                    reply.wait(30)
+                batches.append(window)
+            swapping.join()
+            for window in batches:
+                gens = {reply.generation for reply in window}
+                # Replies submitted together may span dispatcher batches,
+                # but each dispatcher batch resolves from one generation —
+                # so a 32-submit window sees at most the two generations
+                # alive during the swap, never a third or a mix within one
+                # service call.
+                assert len(gens) <= 2
+
+    def test_updates_during_rebuild_not_lost(self, osm_points):
+        """Inserts that arrive mid-rebuild are journalled and replayed into
+        the successor generation."""
+        config = ELSIConfig(train_epochs=60)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points[:1000]
+        )
+        server = _server(index, config=ServeConfig(auto_rebuild=False))
+        with server:
+            rng = np.random.default_rng(4)
+            for p in rng.random((30, 2)) * 0.1:
+                server.insert(p)
+            racing = rng.random((25, 2)) * 0.1 + 0.85
+
+            inserted = []
+
+            def race_inserts() -> None:
+                for p in racing:
+                    server.insert(p)
+                    inserted.append(p)
+                    time.sleep(0.001)
+
+            racer = threading.Thread(target=race_inserts)
+            racer.start()
+            server.rebuild_now()
+            racer.join()
+
+            for p in inserted:
+                assert server.point_query(p), "insert lost across generation swap"
+            assert server.n_points == 1000 + 30 + 25
+
+
+class TestSnapshots:
+    def test_save_load_round_trip(self, built_index, osm_points, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.save(built_index, 3)
+        assert manager.generations() == [3]
+        loaded, gen = manager.load()
+        assert gen == 3
+        np.testing.assert_array_equal(
+            loaded.point_queries(osm_points[:50]),
+            built_index.point_queries(osm_points[:50]),
+        )
+
+    def test_latest_and_prune(self, built_index, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        for gen in (1, 2, 5):
+            manager.save(built_index, gen)
+        assert manager.latest() == 5
+        removed = manager.prune(keep=1)
+        assert len(removed) == 2
+        assert manager.generations() == [5]
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SnapshotManager(tmp_path).load()
+
+    def test_server_snapshots_on_rebuild(self, osm_points, tmp_path):
+        config = ELSIConfig(train_epochs=60)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points[:800]
+        )
+        server = _server(
+            index, config=ServeConfig(auto_rebuild=False), snapshots=str(tmp_path)
+        )
+        with server:
+            server.insert(np.array([0.4, 0.6]))
+            server.rebuild_now()
+            gen = server.generation
+        restored = IndexServer.from_snapshot(str(tmp_path))
+        assert restored.generation == gen
+        with restored:
+            assert restored.point_query(np.array([0.4, 0.6]))
+
+
+class TestDriver:
+    def test_closed_loop_serves_everything(self, built_index, osm_points):
+        workload = ServeWorkload.mixed(osm_points, 300, seed=1)
+        with _server(built_index) as server:
+            result = run_closed_loop(server, workload, clients=4, pipeline=16)
+        assert result.errors == 0
+        assert result.n_requests == 300
+        assert result.stats["completed"] == 300
+        assert result.throughput > 0
+
+    def test_baseline_runs_same_workload(self, built_index, osm_points):
+        workload = ServeWorkload.points_only(osm_points[:100])
+        processor = UpdateProcessor(built_index, ELSIConfig())
+        result = run_baseline(processor, workload)
+        assert result.n_requests == 100
+        assert result.throughput > 0
+
+    def test_mixed_workload_composition(self, osm_points):
+        workload = ServeWorkload.mixed(
+            osm_points, 200, point_fraction=0.5, knn_fraction=0.25, seed=3
+        )
+        kinds = set(workload.kinds)
+        assert kinds == {"point", "knn", "window"}
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_samples(self):
+        hist = LatencyHistogram()
+        hist.record_many([1e-5] * 90 + [1e-2] * 10)
+        assert hist.count == 100
+        assert hist.percentile(50) <= 1e-4
+        assert hist.percentile(99) >= 1e-2 / 2
+        assert hist.max == 1e-2
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.mean == 0.0
