@@ -1,0 +1,68 @@
+"""Observability smoke: a tiny traced build + query + serve + rebuild run.
+
+Run with the trace sink enabled::
+
+    REPRO_TRACE=obs_trace.jsonl PYTHONPATH=src python benchmarks/obs_smoke.py
+
+Exercises every instrumented path — ELSI build (method selection, training
+set, FFN training, error bounds), batch point/window/knn queries, the
+executor, and a serve session with a generation rebuild — then writes the
+metric registries to ``obs_metrics.json``.  CI renders the trace with
+``python -m repro obs report`` and asserts the acceptance-criteria spans
+are present (see ``.github/workflows/ci.yml``).
+"""
+
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.core.config import ELSIConfig
+from repro.core.elsi import ELSI
+from repro.indices.zm import ZMIndex
+from repro.serve.server import IndexServer
+from repro.spatial.rect import Rect
+
+N_POINTS = 3_000
+
+
+def main() -> int:
+    if not os.environ.get("REPRO_TRACE"):
+        print("warning: REPRO_TRACE is not set; no trace file will be written")
+
+    rng = np.random.default_rng(0)
+    pts = rng.random((N_POINTS, 2))
+    elsi = ELSI(ELSIConfig(lam=0.5, train_epochs=80))
+
+    index = elsi.build(ZMIndex, pts)
+    index.point_queries(pts[:128])
+    index.window_queries(
+        [Rect((0.1, 0.1), (0.2, 0.2)), Rect((0.4, 0.4), (0.6, 0.6))]
+    )
+    index.knn_queries(pts[:8], 5)
+
+    server = IndexServer(index, index_factory=lambda: ZMIndex(builder=elsi.builder()))
+    with server:
+        replies = [server.submit_point(p) for p in pts[:32]]
+        window_reply = server.submit_window(Rect((0.2, 0.2), (0.35, 0.35)))
+        for reply in replies:
+            reply.wait(30)
+        window_reply.wait(30)
+        server.insert(np.array([0.42, 0.42]))
+        server.rebuild_now()
+        metrics = server.stats_snapshot()
+
+    with open("obs_metrics.json", "w") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+    print(f"wrote obs_metrics.json ({len(metrics)} metric families)")
+    trace_path = os.environ.get("REPRO_TRACE")
+    if trace_path and os.path.exists(trace_path):
+        with open(trace_path) as fh:
+            n_spans = sum(1 for line in fh if line.strip())
+        print(f"wrote {trace_path} ({n_spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Commands
     updates and background rebuilds).  No network involved.
 ``experiments``
     List the per-table/figure experiment drivers and how to run them.
+``obs report``
+    Render a ``REPRO_TRACE`` JSON-lines trace: per-phase cost breakdown
+    plus the nested span tree (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -227,6 +230,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_trace, missing_spans, render_report
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(render_report(
+        records, max_depth=args.depth, min_seconds=args.min_ms / 1e3
+    ))
+    if args.require:
+        required = [name for name in args.require.split(",") if name]
+        missing = missing_spans(records, required)
+        if missing:
+            print(f"\nmissing required spans: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        print(f"\nall {len(required)} required spans present")
+    return 0
+
+
 def _cmd_experiments(_args: argparse.Namespace) -> int:
     rows = [
         ["Fig. 6", "selector accuracy vs lambda", "benchmarks/bench_fig06_selector.py"],
@@ -306,6 +333,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", action="store_true",
                    help="also time the unbatched one-at-a-time loop")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("obs", help="observability tools (traces + metrics)")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser("report", help="render a REPRO_TRACE JSONL trace")
+    p.add_argument("trace", help="path to the JSON-lines trace file")
+    p.add_argument("--depth", type=int, default=12,
+                   help="maximum span-tree depth to render")
+    p.add_argument("--min-ms", type=float, default=0.0,
+                   help="hide child spans shorter than this many ms")
+    p.add_argument("--require", default=None,
+                   help="comma-separated span names that must be present "
+                        "(exit 1 otherwise; the CI smoke assertion)")
+    p.set_defaults(func=_cmd_obs_report)
 
     p = sub.add_parser("experiments", help="list the paper's experiments")
     p.set_defaults(func=_cmd_experiments)

@@ -36,6 +36,7 @@ from repro.indices.base import (
     run_fit_job,
 )
 from repro.ml.trainer import TrainConfig
+from repro.obs.trace import span as _span
 from repro.perf.executor import MapExecutor, resolve_executor
 from repro.spatial.cdf import uniform_dissimilarity
 
@@ -139,20 +140,24 @@ class ELSIModelBuilder(ModelBuilder):
             raise ValueError("cannot build a model over an empty partition")
 
         select_started = time.perf_counter()
-        chosen = self._choose(sorted_keys, map_fn)
+        with _span("build.method_select", n=n) as sel_span:
+            chosen = self._choose(sorted_keys, map_fn)
+            sel_span.set(method=chosen.name)
         extra_seconds = time.perf_counter() - select_started
 
         result: MethodResult | None = None
         used: BuildMethod = chosen
-        for method in self._fallback_chain(chosen, map_fn):
-            try:
-                result = method.compute_set(sorted_keys, sorted_points, map_fn)
-                used = method
-                break
-            except MethodFailure:
-                continue
-        if result is None:
-            raise RuntimeError("every build method failed, including OG")
+        with _span("build.compute_set", method=chosen.name, n=n) as cs_span:
+            for method in self._fallback_chain(chosen, map_fn):
+                try:
+                    result = method.compute_set(sorted_keys, sorted_points, map_fn)
+                    used = method
+                    break
+                except MethodFailure:
+                    continue
+            if result is None:
+                raise RuntimeError("every build method failed, including OG")
+            cs_span.set(used=used.name, train_size=len(result.train_keys))
         extra_seconds += result.extra_seconds
 
         return FitJob(

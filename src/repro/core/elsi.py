@@ -28,6 +28,7 @@ from repro.core.scorer import MethodScorer
 from repro.core.selector import collect_selector_data, train_ffn_selector
 from repro.core.update_processor import RebuildPredictor, UpdateProcessor
 from repro.indices.base import LearnedSpatialIndex
+from repro.obs.trace import span as _span
 
 __all__ = ["ELSI"]
 
@@ -109,11 +110,15 @@ class ELSI:
         **index_kwargs,
     ) -> LearnedSpatialIndex:
         """Build ``index_class`` on ``points`` through the build processor."""
-        index = index_class(
-            builder=self.builder(method=method, random_choice=random_choice),
-            **index_kwargs,
-        )
-        index.build(np.asarray(points, dtype=np.float64))
+        pts = np.asarray(points, dtype=np.float64)
+        with _span(
+            "build", index=index_class.name, n=len(pts), method=method or "auto"
+        ):
+            index = index_class(
+                builder=self.builder(method=method, random_choice=random_choice),
+                **index_kwargs,
+            )
+            index.build(pts)
         return index
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.scorer import MethodScorer, ScorerSample, build_score, query_sco
 from repro.data.controlled import dataset_with_uniform_distance
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.obs.trace import span as _span
 from repro.spatial.cdf import uniform_dissimilarity
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
@@ -98,40 +99,54 @@ def collect_selector_data(
     cfg = config or ELSIConfig()
     _warm_mr_pool(cfg)
     records: list[DatasetRecord] = []
-    for n in cardinalities:
-        for i, delta in enumerate(deltas):
-            points = dataset_with_uniform_distance(n, delta, seed=seed + i)
-            keys = np.sort(zvalues(points, Rect.bounding(points)).astype(np.float64))
-            dist_u = uniform_dissimilarity(keys, assume_sorted=True)
-            record = DatasetRecord(n=n, dist_u=dist_u)
-            timings: dict[str, tuple[float, float]] = {}
-            rng = np.random.default_rng(seed + i)
-            query_ids = rng.integers(0, n, size=min(n_queries, n))
-            if query_kind == "window":
-                from repro.queries.workload import window_workload
+    with _span(
+        "selector.collect",
+        cells=len(cardinalities) * len(deltas),
+        methods=len(cfg.methods),
+        query_kind=query_kind,
+    ):
+        for n in cardinalities:
+            for i, delta in enumerate(deltas):
+                with _span("selector.cell", n=n, delta=delta) as cell_span:
+                    points = dataset_with_uniform_distance(n, delta, seed=seed + i)
+                    keys = np.sort(
+                        zvalues(points, Rect.bounding(points)).astype(np.float64)
+                    )
+                    dist_u = uniform_dissimilarity(keys, assume_sorted=True)
+                    cell_span.set(dist_u=round(dist_u, 4))
+                    record = DatasetRecord(n=n, dist_u=dist_u)
+                    timings: dict[str, tuple[float, float]] = {}
+                    rng = np.random.default_rng(seed + i)
+                    query_ids = rng.integers(0, n, size=min(n_queries, n))
+                    if query_kind == "window":
+                        from repro.queries.workload import window_workload
 
-                windows = window_workload(
-                    points, max(n_queries // 5, 5), 1e-3, seed=seed + i
-                )
-            for method in cfg.methods:
-                builder = ELSIModelBuilder(cfg, method=method)
-                started = time.perf_counter()
-                index = index_factory(builder)
-                index.build(points)
-                build_time = time.perf_counter() - started
-                started = time.perf_counter()
-                if query_kind == "point":
-                    for qi in query_ids:
-                        index.point_query(points[qi])
-                else:
-                    for window in windows:
-                        window.run(index)
-                query_time = time.perf_counter() - started
-                timings[method] = (build_time, query_time)
-            og_build, og_query = timings.get("OG", max(timings.values()))
-            for method, (bt, qt) in timings.items():
-                record.speedups[method] = (og_build / max(bt, 1e-9), og_query / max(qt, 1e-9))
-            records.append(record)
+                        windows = window_workload(
+                            points, max(n_queries // 5, 5), 1e-3, seed=seed + i
+                        )
+                    for method in cfg.methods:
+                        with _span("selector.method", method=method, n=n):
+                            builder = ELSIModelBuilder(cfg, method=method)
+                            started = time.perf_counter()
+                            index = index_factory(builder)
+                            index.build(points)
+                            build_time = time.perf_counter() - started
+                            started = time.perf_counter()
+                            if query_kind == "point":
+                                for qi in query_ids:
+                                    index.point_query(points[qi])
+                            else:
+                                for window in windows:
+                                    window.run(index)
+                            query_time = time.perf_counter() - started
+                            timings[method] = (build_time, query_time)
+                    og_build, og_query = timings.get("OG", max(timings.values()))
+                    for method, (bt, qt) in timings.items():
+                        record.speedups[method] = (
+                            og_build / max(bt, 1e-9),
+                            og_query / max(qt, 1e-9),
+                        )
+                    records.append(record)
     return records
 
 
@@ -176,7 +191,8 @@ def train_ffn_selector(
     if method_names is None:
         method_names = tuple(records[0].methods())
     scorer = MethodScorer(method_names=method_names, seed=seed)
-    scorer.fit(records_to_samples(records), epochs=epochs, seed=seed)
+    with _span("selector.train", records=len(records), epochs=epochs):
+        scorer.fit(records_to_samples(records), epochs=epochs, seed=seed)
     return scorer
 
 

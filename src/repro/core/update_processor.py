@@ -24,6 +24,7 @@ from repro.core.config import ELSIConfig
 from repro.indices.base import LearnedSpatialIndex
 from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig, train_regressor
+from repro.obs.trace import span as _span
 from repro.spatial.cdf import ks_distance, uniform_dissimilarity
 from repro.spatial.rect import Rect
 
@@ -261,6 +262,26 @@ class UpdateProcessor:
             return extra
         return np.vstack([base, extra])
 
+    def window_queries(self, windows: list) -> list[np.ndarray]:
+        """Batch window queries: the base index answers all windows at once
+        (the vectorised corner-prediction path where available), then each
+        window's result is deletion-filtered and merged with the side list."""
+        if not windows:
+            return []
+        base_results = self.index.window_queries(windows)
+        extra = self._inserted_array()
+        out: list[np.ndarray] = []
+        for window, base in zip(windows, base_results):
+            base = self._filter_deleted(base)
+            matched = extra[window.contains_points(extra)] if len(extra) else extra
+            if len(matched) == 0:
+                out.append(base)
+            elif len(base) == 0:
+                out.append(matched)
+            else:
+                out.append(np.vstack([base, matched]))
+        return out
+
     def _merge_knn(
         self, q: np.ndarray, base: np.ndarray, extra: np.ndarray, k: int
     ) -> np.ndarray:
@@ -350,8 +371,11 @@ class UpdateProcessor:
         """Full index rebuild on D' through the build API; returns seconds."""
         points = self.current_points()
         started = time.perf_counter()
-        fresh = self._index_factory()
-        fresh.build(points)
+        with _span(
+            "update.rebuild", n=len(points), pending=len(self._inserted)
+        ):
+            fresh = self._index_factory()
+            fresh.build(points)
         elapsed = time.perf_counter() - started
         self.index = fresh
         self._base_points = points

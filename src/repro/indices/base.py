@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig, train_regressor
+from repro.obs.trace import span as _span
 from repro.perf.executor import MapExecutor, resolve_executor
 from repro.spatial.rect import Rect
 
@@ -268,33 +269,38 @@ class FitOutcome:
 
 def run_fit_job(job: FitJob, executor: "MapExecutor | None" = None) -> FitOutcome:
     """Train (or load) one model and measure its error bounds."""
-    if job.pretrained_state is not None:
-        # MR: load the pre-trained network; no online training (T = 0).
-        net = FFN([1, job.hidden, 1], seed=job.seed)
-        net.load_state_dict(job.pretrained_state)
-        model = TrainedModel(
-            net=net,
-            key_lo=job.key_lo,
-            key_hi=job.key_hi,
-            n_indexed=job.n_indexed,
-            method_name=job.method_name,
-            train_set_size=len(job.train_keys),
-        )
-        train_seconds = 0.0
-    else:
-        model, train_seconds = fit_cdf_model(
-            job.train_keys,
-            job.train_ranks,
-            key_lo=job.key_lo,
-            key_hi=job.key_hi,
-            n_indexed=job.n_indexed,
-            hidden=job.hidden,
-            train_config=job.train_config,
-            method_name=job.method_name,
-            seed=job.seed,
-        )
+    with _span(
+        "build.train", method=job.method_name, train_size=len(job.train_keys)
+    ):
+        if job.pretrained_state is not None:
+            # MR: load the pre-trained network; no online training (T = 0).
+            net = FFN([1, job.hidden, 1], seed=job.seed)
+            net.load_state_dict(job.pretrained_state)
+            model = TrainedModel(
+                net=net,
+                key_lo=job.key_lo,
+                key_hi=job.key_hi,
+                n_indexed=job.n_indexed,
+                method_name=job.method_name,
+                train_set_size=len(job.train_keys),
+            )
+            train_seconds = 0.0
+        else:
+            model, train_seconds = fit_cdf_model(
+                job.train_keys,
+                job.train_ranks,
+                key_lo=job.key_lo,
+                key_hi=job.key_hi,
+                n_indexed=job.n_indexed,
+                hidden=job.hidden,
+                train_config=job.train_config,
+                method_name=job.method_name,
+                seed=job.seed,
+            )
     started = time.perf_counter()
-    model.measure_error_bounds(job.sorted_keys, executor=executor)
+    with _span("build.error_bounds", n=job.n_indexed) as eb_span:
+        model.measure_error_bounds(job.sorted_keys, executor=executor)
+        eb_span.set(err_l=model.err_l, err_u=model.err_u)
     return FitOutcome(
         model=model,
         train_seconds=train_seconds,
@@ -365,23 +371,27 @@ class ModelBuilder(ABC):
         correctness.
         """
         ex = resolve_executor(executor if executor is not None else self.executor)
-        try:
-            jobs = [
-                self.prepare_fit_job(keys, pts, map_fn) for keys, pts in partitions
-            ]
-        except NotImplementedError:
-            return [
-                self.build_model(keys, pts, stats, map_fn) for keys, pts in partitions
-            ]
-        if ex.backend == "fused":
-            outcomes = _run_fit_jobs_fused(jobs)
-        else:
-            outcomes = ex.map(run_fit_job, jobs)
-        models = []
-        for job, outcome in zip(jobs, outcomes):
-            _merge_fit_costs(stats, job, outcome)
-            models.append(outcome.model)
-        return models
+        with _span(
+            "build.models", partitions=len(partitions), backend=ex.backend
+        ):
+            try:
+                jobs = [
+                    self.prepare_fit_job(keys, pts, map_fn) for keys, pts in partitions
+                ]
+            except NotImplementedError:
+                return [
+                    self.build_model(keys, pts, stats, map_fn)
+                    for keys, pts in partitions
+                ]
+            if ex.backend == "fused":
+                outcomes = _run_fit_jobs_fused(jobs)
+            else:
+                outcomes = ex.map(run_fit_job, jobs)
+            models = []
+            for job, outcome in zip(jobs, outcomes):
+                _merge_fit_costs(stats, job, outcome)
+                models.append(outcome.model)
+            return models
 
 
 def _merge_fit_costs(stats: BuildStats, job: FitJob, outcome: FitOutcome) -> None:
@@ -592,6 +602,15 @@ class LearnedSpatialIndex(ABC):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         return [self.knn_query(p, k) for p in pts]
 
+    def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
+        """Batch window queries: one ``(m, d)`` result array per window.
+
+        The default loops over :meth:`window_query`; store-backed indices
+        override it with a vectorised path that predicts scan ranges for
+        every window corner in one model pass (see ``ZMIndex``).
+        """
+        return [self.window_query(w) for w in windows]
+
     def insert(self, point: np.ndarray) -> None:
         """Built-in insertion procedure (Section IV-B2 / Figure 15).
 
@@ -679,6 +698,11 @@ class LearnedSpatialIndex(ABC):
         b = len(pts)
         if b == 0:
             return []
+        with _span("query.knn_batch", queries=b, k=k):
+            return self._knn_batch_inner(pts, k)
+
+    def _knn_batch_inner(self, pts: np.ndarray, k: int) -> list[np.ndarray]:
+        b = len(pts)
         assert self.bounds is not None
         d = self.bounds.ndim
         volume = self.bounds.area()

@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder, TrainedModel
 from repro.indices.zm import locate_rank
+from repro.obs.query_obs import record_range_widths
+from repro.obs.trace import span as _span
 from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
@@ -198,19 +200,25 @@ class FloodIndex(LearnedSpatialIndex):
             return np.zeros(0, dtype=bool)
         out = np.zeros(len(pts), dtype=bool)
         self.query_stats.queries += len(pts)
-        columns = self._column_of(pts[:, 0])
-        for c in np.unique(columns):
-            store = self._stores[c]
-            model = self._models[c]
-            mask = columns == c
-            if store is None or model is None:
-                continue
-            member_pts = pts[mask]
-            keys = member_pts[:, 1]
-            lo, hi = model.search_ranges(keys)
-            self.query_stats.model_invocations += int(mask.sum())
-            self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
-            out[mask] = batch_point_membership(store, lo, hi, keys, member_pts)
+        with _span("query.point_batch", index=self.name, queries=len(pts)):
+            columns = self._column_of(pts[:, 0])
+            for c in np.unique(columns):
+                store = self._stores[c]
+                model = self._models[c]
+                mask = columns == c
+                if store is None or model is None:
+                    continue
+                member_pts = pts[mask]
+                keys = member_pts[:, 1]
+                with _span(
+                    "query.model_predict", index=self.name, queries=int(mask.sum())
+                ):
+                    lo, hi = model.search_ranges(keys)
+                record_range_widths(self.name, lo, hi)
+                self.query_stats.model_invocations += int(mask.sum())
+                self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+                with _span("query.refine", index=self.name, queries=int(mask.sum())):
+                    out[mask] = batch_point_membership(store, lo, hi, keys, member_pts)
         return out
 
     def window_query(self, window: Rect) -> np.ndarray:

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
+from repro.obs.query_obs import record_range_widths
+from repro.obs.trace import span as _span
 from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
@@ -189,17 +191,21 @@ class LISAIndex(LearnedSpatialIndex):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(pts) == 0:
             return np.zeros(0, dtype=bool)
-        keys = np.asarray(self.map(pts), dtype=np.float64)
-        lo, hi = self.model.search_ranges(keys)
-        # Vectorised _shard_aligned: widen by inserts, round to whole shards.
-        lo = ((lo - self._native_inserts) // self.shard_size) * self.shard_size
-        hi = -(-(hi + self._native_inserts) // self.shard_size) * self.shard_size
-        lo = np.maximum(lo, 0)
-        hi = np.minimum(hi, self.n_points)
-        self.query_stats.queries += len(pts)
-        self.query_stats.model_invocations += len(pts)
-        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
-        return batch_point_membership(self.store, lo, hi, keys, pts)
+        with _span("query.point_batch", index=self.name, queries=len(pts)):
+            with _span("query.model_predict", index=self.name, queries=len(pts)):
+                keys = np.asarray(self.map(pts), dtype=np.float64)
+                lo, hi = self.model.search_ranges(keys)
+            # Vectorised _shard_aligned: widen by inserts, round to whole shards.
+            lo = ((lo - self._native_inserts) // self.shard_size) * self.shard_size
+            hi = -(-(hi + self._native_inserts) // self.shard_size) * self.shard_size
+            lo = np.maximum(lo, 0)
+            hi = np.minimum(hi, self.n_points)
+            record_range_widths(self.name, lo, hi)
+            self.query_stats.queries += len(pts)
+            self.query_stats.model_invocations += len(pts)
+            self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+            with _span("query.refine", index=self.name, queries=len(pts)):
+                return batch_point_membership(self.store, lo, hi, keys, pts)
 
     def window_query(self, window: Rect) -> np.ndarray:
         """Approximate window query (FFN shard predictor, see module docs).

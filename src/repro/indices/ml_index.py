@@ -20,6 +20,8 @@ import numpy as np
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
 from repro.indices.zm import locate_rank
+from repro.obs.query_obs import record_range_widths
+from repro.obs.trace import span as _span
 from repro.perf.batching import batch_point_membership
 from repro.spatial.idistance import IDistanceMapping
 from repro.spatial.rect import Rect
@@ -125,16 +127,20 @@ class MLIndex(LearnedSpatialIndex):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(pts) == 0:
             return np.zeros(0, dtype=bool)
-        keys = np.asarray(self.map(pts), dtype=np.float64)
-        lo, hi = self.model.search_ranges(keys)
-        lo = np.maximum(lo - self._native_inserts, 0)
-        hi = np.minimum(hi + self._native_inserts, len(self.store))
-        self.query_stats.queries += len(pts)
-        self.query_stats.model_invocations += len(pts)
-        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
-        return batch_point_membership(
-            self.store, lo, hi, keys, pts, atol=self.KEY_ATOL
-        )
+        with _span("query.point_batch", index=self.name, queries=len(pts)):
+            with _span("query.model_predict", index=self.name, queries=len(pts)):
+                keys = np.asarray(self.map(pts), dtype=np.float64)
+                lo, hi = self.model.search_ranges(keys)
+            lo = np.maximum(lo - self._native_inserts, 0)
+            hi = np.minimum(hi + self._native_inserts, len(self.store))
+            record_range_widths(self.name, lo, hi)
+            self.query_stats.queries += len(pts)
+            self.query_stats.model_invocations += len(pts)
+            self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+            with _span("query.refine", index=self.name, queries=len(pts)):
+                return batch_point_membership(
+                    self.store, lo, hi, keys, pts, atol=self.KEY_ATOL
+                )
 
     def _scan_key_interval(self, key_lo: float, key_hi: float) -> np.ndarray:
         """Exact scan of all points with key in [key_lo, key_hi]."""

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
+from repro.obs.query_obs import record_range_widths
+from repro.obs.trace import span as _span
 from repro.perf.batching import batch_point_membership
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
@@ -165,14 +167,63 @@ class ZMIndex(LearnedSpatialIndex):
         pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(pts) == 0:
             return np.zeros(0, dtype=bool)
-        keys = np.asarray(self.map(pts), dtype=np.float64)
-        lo, hi = self.model.search_ranges(keys)
-        lo = np.maximum(lo - self._native_inserts, 0)
-        hi = np.minimum(hi + self._native_inserts, len(self.store))
-        self.query_stats.queries += len(pts)
-        self.query_stats.model_invocations += len(pts)
-        self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
-        return batch_point_membership(self.store, lo, hi, keys, pts)
+        with _span("query.point_batch", index=self.name, queries=len(pts)):
+            with _span("query.model_predict", index=self.name, queries=len(pts)):
+                keys = np.asarray(self.map(pts), dtype=np.float64)
+                lo, hi = self.model.search_ranges(keys)
+            lo = np.maximum(lo - self._native_inserts, 0)
+            hi = np.minimum(hi + self._native_inserts, len(self.store))
+            record_range_widths(self.name, lo, hi)
+            self.query_stats.queries += len(pts)
+            self.query_stats.model_invocations += len(pts)
+            self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+            with _span("query.refine", index=self.name, queries=len(pts)):
+                return batch_point_membership(self.store, lo, hi, keys, pts)
+
+    def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
+        """Vectorised batch window queries.
+
+        All windows' corner Morton codes go through ``map()`` and the model
+        in one pass (2W keys, one forward pass per visited member model)
+        instead of 2W separate predictions; each window then refines its
+        own boundaries with :func:`locate_rank` and scans, so results are
+        identical to looping :meth:`window_query`.
+        """
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        if not windows:
+            return []
+        with _span("query.window_batch", index=self.name, windows=len(windows)):
+            corners = np.vstack([w.lo_array for w in windows] + [w.hi_array for w in windows])
+            w = len(windows)
+            with _span("query.model_predict", index=self.name, queries=2 * w):
+                z = np.asarray(self.map(corners), dtype=np.float64)
+                lo_pred, hi_pred = self.model.search_ranges(z)
+            record_range_widths(self.name, lo_pred, hi_pred)
+            with _span("query.refine", index=self.name, queries=w):
+                results: list[np.ndarray] = []
+                for i, window in enumerate(windows):
+                    lo = locate_rank(
+                        self.store.keys,
+                        float(z[i]),
+                        (int(lo_pred[i]), int(hi_pred[i])),
+                        "left",
+                    )
+                    hi = locate_rank(
+                        self.store.keys,
+                        float(z[w + i]),
+                        (int(lo_pred[w + i]), int(hi_pred[w + i])),
+                        "right",
+                    )
+                    pts, _keys, _ids = self.store.scan(lo, hi)
+                    self.query_stats.queries += 1
+                    self.query_stats.model_invocations += 2
+                    self.query_stats.points_scanned += len(pts)
+                    if len(pts) == 0:
+                        results.append(pts)
+                    else:
+                        results.append(pts[window.contains_points(pts)])
+            return results
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)

@@ -1,0 +1,278 @@
+"""Metric primitives: counters, gauges, and log-bucket histograms.
+
+:class:`MetricsRegistry` is the one place metrics live.  Call sites ask the
+registry for a named instrument (``registry.counter("serve.requests",
+kind="point")``) and get the same object back on every call with the same
+name + labels, so recording is a plain attribute update behind one lock
+acquisition.  The registry exports everything at once — as a JSON-able
+dict (:meth:`MetricsRegistry.export`) or as Prometheus-style text lines
+(:meth:`MetricsRegistry.export_text`).
+
+:class:`Histogram` generalises the log-spaced latency histogram that used
+to be private to ``repro.serve.stats.ServerStats``: doubling buckets above
+a configurable base, upper-bound percentile estimates, exact
+count/total/max alongside, and mergeability (for folding worker-process
+histograms into a parent's).
+
+Naming convention: dotted lowercase ``subsystem.thing`` names
+(``serve.batch_size``, ``query.predicted_range_width``); labels carry the
+cardinality (``kind="point"``), never the name.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+#: Canonical label encoding: a sorted tuple of (key, value-string) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, generation age)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log-spaced histogram: doubling buckets above ``base``.
+
+    Bucket ``i`` covers ``(base * 2**(i-1), base * 2**i]`` for ``i >= 1``
+    and ``[0, base]`` for bucket 0; the last bucket absorbs everything
+    larger.  Percentiles are estimated from bucket upper bounds —
+    pessimistic by at most one doubling.  Exact count/total/max are kept
+    alongside, and two histograms with the same shape merge by adding
+    their buckets (:meth:`merge`), which is how spans' worker-process
+    histograms fold back into the parent.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, base: float = 1e-6, n_buckets: int = 28) -> None:
+        if base <= 0:
+            raise ValueError(f"base must be > 0, got {base}")
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        self.base = float(base)
+        self.n_buckets = int(n_buckets)
+        self.counts = np.zeros(self.n_buckets, dtype=np.int64)
+        self.total = 0.0
+        self.max = 0.0
+
+    # ------------------------------------------------------------------
+    def bucket_index(self, value: float) -> int:
+        """The bucket ``value`` falls into (the reference doubling loop)."""
+        bucket = 0
+        scaled = value / self.base
+        while scaled > 1.0 and bucket < self.n_buckets - 1:
+            scaled /= 2.0
+            bucket += 1
+        return bucket
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """Half-open ``(lo, hi]`` value bounds of bucket ``index``."""
+        if not 0 <= index < self.n_buckets:
+            raise IndexError(f"bucket {index} out of range [0, {self.n_buckets})")
+        lo = 0.0 if index == 0 else self.base * 2.0 ** (index - 1)
+        hi = self.base * 2.0**index
+        return lo, hi
+
+    def record(self, value: float) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: "list[float] | np.ndarray") -> None:
+        for v in values:
+            self.record(float(v))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s samples into this histogram (same shape only)."""
+        if other.base != self.base or other.n_buckets != self.n_buckets:
+            raise ValueError(
+                f"cannot merge histogram(base={other.base}, n={other.n_buckets}) "
+                f"into histogram(base={self.base}, n={self.n_buckets})"
+            )
+        self.counts += other.counts
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the q-th percentile (q in [0, 100])."""
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = max(1, int(np.ceil(q / 100.0 * n)))
+        cumulative = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank))
+        return self.base * (2.0 ** (bucket + 1))
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home for named instruments.
+
+    The same (name, labels) pair always returns the same instrument, so
+    hot paths can re-ask the registry instead of threading instrument
+    objects around.  Asking for an existing name with a different
+    instrument kind (or histogram shape) is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, LabelKey], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, labels: dict, factory, kind: str):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+            elif instrument.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}, "
+                    f"asked for {kind}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(name, labels, Counter, "counter")
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(name, labels, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, base: float = 1e-6, n_buckets: int = 28, **labels
+    ) -> Histogram:
+        hist = self._get_or_create(
+            name, labels, lambda: Histogram(base=base, n_buckets=n_buckets), "histogram"
+        )
+        if hist.base != base or hist.n_buckets != n_buckets:
+            raise ValueError(
+                f"histogram {name!r} already registered with base={hist.base}, "
+                f"n_buckets={hist.n_buckets}"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every instrument (tests and process-lifetime resets)."""
+        with self._lock:
+            self._instruments.clear()
+
+    def export(self) -> dict:
+        """JSON-able dump: ``{name: [{labels, kind, value}, ...]}``."""
+        with self._lock:
+            items = list(self._instruments.items())
+        out: dict[str, list] = {}
+        for (name, labels), instrument in sorted(items, key=lambda kv: kv[0]):
+            out.setdefault(name, []).append(
+                {
+                    "labels": dict(labels),
+                    "kind": instrument.kind,
+                    "value": instrument.snapshot(),
+                }
+            )
+        return out
+
+    def export_text(self) -> str:
+        """Prometheus-style lines: ``name{k="v"} value`` (one per series,
+        histograms flattened to _count/_mean/_max/_p50/_p99)."""
+        lines: list[str] = []
+        for name, series in self.export().items():
+            for entry in series:
+                label_text = ",".join(
+                    f'{k}="{v}"' for k, v in sorted(entry["labels"].items())
+                )
+                suffix = f"{{{label_text}}}" if label_text else ""
+                value = entry["value"]
+                if entry["kind"] == "histogram":
+                    for stat, v in value.items():
+                        lines.append(f"{name}_{stat}{suffix} {v:g}")
+                else:
+                    lines.append(f"{name}{suffix} {value:g}")
+        return "\n".join(lines)
+
+    def export_json(self) -> str:
+        return json.dumps(self.export(), indent=2, sort_keys=True)
+
+
+#: The process-wide default registry: build/query/perf instrumentation
+#: records here; servers keep their own registries (see ``ServerStats``)
+#: so per-server counts stay separable.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

@@ -1,0 +1,179 @@
+"""Trace analysis: load a JSONL trace, summarise phases, render span trees.
+
+The ``python -m repro obs report`` CLI is a thin wrapper over this module:
+:func:`load_trace` parses the JSON-lines file ``REPRO_TRACE`` produced,
+:func:`phase_totals` aggregates wall-clock per span name (the per-phase
+cost breakdown — method selection vs. training vs. error bounds vs. query
+refinement, the decomposition Pai et al. show explains learned-index
+performance), and :func:`render_tree` prints the nested span structure.
+
+Spans land in the file at *exit* time, so children precede parents on
+disk; tree construction keys off the recorded parent ids, not file order.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "build_tree",
+    "load_trace",
+    "missing_spans",
+    "phase_totals",
+    "render_report",
+    "render_tree",
+]
+
+
+def load_trace(path: str) -> list[SpanRecord]:
+    """Parse a JSONL trace file into span records (file order)."""
+    records: list[SpanRecord] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: malformed span line: {exc}") from exc
+    return records
+
+
+def build_tree(
+    records: list[SpanRecord],
+) -> tuple[list[SpanRecord], dict[str, list[SpanRecord]]]:
+    """Return ``(roots, children_by_parent_id)``, both sorted by start time.
+
+    A span whose parent never completed (ring-buffer eviction, crash
+    mid-span) is treated as a root rather than dropped.
+    """
+    by_id = {r.span_id: r for r in records}
+    roots: list[SpanRecord] = []
+    children: dict[str, list[SpanRecord]] = {}
+    for r in records:
+        if r.parent_id is not None and r.parent_id in by_id:
+            children.setdefault(r.parent_id, []).append(r)
+        else:
+            roots.append(r)
+    roots.sort(key=lambda r: r.start)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: r.start)
+    return roots, children
+
+
+def phase_totals(records: list[SpanRecord]) -> dict[str, dict]:
+    """Aggregate per span name: count, total/mean/max seconds, self seconds.
+
+    ``self_seconds`` subtracts the time attributed to a span's (recorded)
+    children, so nested phases don't double-count in the breakdown.
+    """
+    child_time: dict[str, float] = {}
+    for r in records:
+        if r.parent_id is not None:
+            child_time[r.parent_id] = child_time.get(r.parent_id, 0.0) + r.duration
+    totals: dict[str, dict] = {}
+    for r in records:
+        entry = totals.setdefault(
+            r.name,
+            {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0, "self_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += r.duration
+        entry["self_seconds"] += max(0.0, r.duration - child_time.get(r.span_id, 0.0))
+        if r.duration > entry["max_seconds"]:
+            entry["max_seconds"] = r.duration
+    for entry in totals.values():
+        entry["mean_seconds"] = entry["total_seconds"] / entry["count"]
+    return totals
+
+
+def missing_spans(records: list[SpanRecord], required: list[str]) -> list[str]:
+    """The required span names absent from the trace (CI smoke assertion)."""
+    present = {r.name for r in records}
+    return [name for name in required if name not in present]
+
+
+def _format_attrs(attrs: dict, limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    shown = list(attrs.items())[:limit]
+    text = ", ".join(f"{k}={v}" for k, v in shown)
+    if len(attrs) > limit:
+        text += ", ..."
+    return f" [{text}]"
+
+
+def render_tree(
+    records: list[SpanRecord],
+    max_depth: int = 12,
+    min_seconds: float = 0.0,
+    max_children: int = 20,
+) -> str:
+    """The nested span structure as an indented text tree."""
+    roots, children = build_tree(records)
+    lines: list[str] = []
+
+    def emit(record: SpanRecord, depth: int) -> None:
+        if record.duration < min_seconds and depth > 0:
+            return
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{record.name}  {record.duration * 1e3:9.3f} ms"
+            f"{_format_attrs(record.attrs)}"
+        )
+        if depth + 1 >= max_depth:
+            return
+        kids = children.get(record.span_id, [])
+        for child in kids[:max_children]:
+            emit(child, depth + 1)
+        if len(kids) > max_children:
+            lines.append(f"{'  ' * (depth + 1)}... ({len(kids) - max_children} more)")
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_phase_table(records: list[SpanRecord]) -> str:
+    """The per-phase cost breakdown as an aligned text table."""
+    totals = phase_totals(records)
+    if not totals:
+        return "(no spans)"
+    rows = sorted(totals.items(), key=lambda kv: -kv[1]["total_seconds"])
+    name_w = max(len("phase"), max(len(name) for name in totals))
+    header = (
+        f"{'phase':<{name_w}}  {'count':>7}  {'total':>10}  {'self':>10}"
+        f"  {'mean':>10}  {'max':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, entry in rows:
+        lines.append(
+            f"{name:<{name_w}}  {entry['count']:>7d}"
+            f"  {entry['total_seconds'] * 1e3:>8.2f}ms"
+            f"  {entry['self_seconds'] * 1e3:>8.2f}ms"
+            f"  {entry['mean_seconds'] * 1e3:>8.2f}ms"
+            f"  {entry['max_seconds'] * 1e3:>8.2f}ms"
+        )
+    return "\n".join(lines)
+
+
+def render_report(
+    records: list[SpanRecord],
+    max_depth: int = 12,
+    min_seconds: float = 0.0,
+) -> str:
+    """Phase breakdown followed by the span tree — the CLI's output."""
+    n_processes = len({r.pid for r in records})
+    parts = [
+        f"{len(records)} spans from {n_processes} process(es)",
+        "",
+        "Per-phase cost breakdown",
+        render_phase_table(records),
+        "",
+        "Span tree",
+        render_tree(records, max_depth=max_depth, min_seconds=min_seconds),
+    ]
+    return "\n".join(parts)

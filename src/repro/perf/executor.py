@@ -34,13 +34,17 @@ Backend selection: the ``REPRO_PARALLELISM`` environment variable
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import trace as _trace
 
 __all__ = ["BACKENDS", "ENV_VAR", "MapExecutor", "resolve_executor"]
 
 ENV_VAR = "REPRO_PARALLELISM"
 BACKENDS = ("serial", "thread", "process", "fused")
+_SPEC_FORMS = "'backend' or 'backend:workers' (e.g. 'thread:4')"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -49,6 +53,33 @@ R = TypeVar("R")
 def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
     """Module-level chunk worker so the process backend can pickle it."""
     return [fn(item) for item in chunk]
+
+
+def _traced_thread_chunk(
+    fn: Callable[[T], R], chunk: Sequence[T], parent_id: "str | None"
+) -> tuple[list[R], float]:
+    """Thread-backend chunk with a ``perf.chunk`` span parented under the
+    dispatching ``perf.map`` span; returns (results, busy seconds)."""
+    tracer = _trace.get_tracer()
+    started = time.perf_counter()
+    with tracer.ambient(parent_id):
+        with tracer.span("perf.chunk", jobs=len(chunk)):
+            results = [fn(item) for item in chunk]
+    return results, time.perf_counter() - started
+
+
+def _traced_process_chunk(
+    fn: Callable[[T], R], chunk: Sequence[T]
+) -> tuple[list[R], float, list[dict]]:
+    """Process-backend chunk: capture worker spans and ship them back as
+    plain dicts (picklable) for the parent to adopt into its trace."""
+    tracer = _trace.get_tracer()
+    started = time.perf_counter()
+    with tracer.capture() as captured:
+        with tracer.span("perf.chunk", jobs=len(chunk)):
+            results = [fn(item) for item in chunk]
+    busy = time.perf_counter() - started
+    return results, busy, [record.to_dict() for record in captured]
 
 
 class MapExecutor:
@@ -86,15 +117,31 @@ class MapExecutor:
     @classmethod
     def from_spec(cls, spec: str) -> "MapExecutor":
         """Parse ``"backend"`` or ``"backend:workers"`` (e.g. ``thread:4``)."""
-        name, _, workers = spec.strip().lower().partition(":")
+        text = spec.strip().lower()
+        if not text:
+            raise ValueError(
+                f"empty parallelism spec; accepted forms are {_SPEC_FORMS} "
+                f"with backend one of {BACKENDS}"
+            )
+        name, sep, workers = text.partition(":")
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r} in spec {spec!r}; accepted forms "
+                f"are {_SPEC_FORMS} with backend one of {BACKENDS}"
+            )
         max_workers = None
-        if workers:
+        if sep:
             try:
                 max_workers = int(workers)
             except ValueError as exc:
                 raise ValueError(
-                    f"worker count in {spec!r} must be an integer"
+                    f"worker count in {spec!r} must be an integer; accepted "
+                    f"forms are {_SPEC_FORMS}"
                 ) from exc
+            if max_workers < 1:
+                raise ValueError(
+                    f"worker count in {spec!r} must be a positive integer"
+                )
         return cls(backend=name, max_workers=max_workers)
 
     @property
@@ -114,6 +161,8 @@ class MapExecutor:
         jobs = list(items)
         if not jobs:
             return []
+        if _trace._TRACER._enabled:
+            return self._map_traced(fn, jobs)
         if self.backend in ("serial", "fused") or len(jobs) == 1 or self.workers == 1:
             return [fn(item) for item in jobs]
 
@@ -127,6 +176,60 @@ class MapExecutor:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 chunk_results = list(
                     pool.map(_apply_chunk, [fn] * len(chunks), chunks)
+                )
+        return [result for chunk in chunk_results for result in chunk]
+
+    def _map_traced(self, fn: Callable[[T], R], jobs: list[T]) -> list[R]:
+        """The :meth:`map` dispatch wrapped in ``perf.map`` / ``perf.chunk``
+        spans.  Thread chunks parent directly under the map span via the
+        tracer's ambient mechanism; process chunks capture their spans in
+        the worker and the parent adopts them afterwards.  Worker
+        utilisation (busy time / (elapsed * workers)) lands as an attribute
+        on the ``perf.map`` span."""
+        tracer = _trace.get_tracer()
+        inline = (
+            self.backend in ("serial", "fused")
+            or len(jobs) == 1
+            or self.workers == 1
+        )
+        if inline:
+            with tracer.span(
+                "perf.map", backend=self.backend, jobs=len(jobs), chunks=1, workers=1
+            ):
+                return [fn(item) for item in jobs]
+
+        chunks = self._chunked(jobs)
+        with tracer.span(
+            "perf.map",
+            backend=self.backend,
+            jobs=len(jobs),
+            chunks=len(chunks),
+            workers=self.workers,
+        ) as map_span:
+            elapsed_t0 = time.perf_counter()
+            if self.backend == "thread":
+                parent_id = map_span.span_id
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    outcomes = list(
+                        pool.map(
+                            lambda c: _traced_thread_chunk(fn, c, parent_id), chunks
+                        )
+                    )
+                chunk_results = [results for results, _busy in outcomes]
+                busy = sum(b for _results, b in outcomes)
+            else:  # process
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    outcomes = list(
+                        pool.map(_traced_process_chunk, [fn] * len(chunks), chunks)
+                    )
+                chunk_results = [results for results, _busy, _spans in outcomes]
+                busy = sum(b for _results, b, _spans in outcomes)
+                for _results, _busy, span_dicts in outcomes:
+                    tracer.adopt(span_dicts, parent_id=map_span.span_id)
+            elapsed = time.perf_counter() - elapsed_t0
+            if elapsed > 0:
+                map_span.set(
+                    utilisation=round(busy / (elapsed * self.workers), 4)
                 )
         return [result for chunk in chunk_results for result in chunk]
 
@@ -159,7 +262,10 @@ def resolve_executor(
     """
     spec = os.environ.get(ENV_VAR)
     if spec:
-        return MapExecutor.from_spec(spec)
+        try:
+            return MapExecutor.from_spec(spec)
+        except ValueError as exc:
+            raise ValueError(f"invalid {ENV_VAR}={spec!r}: {exc}") from exc
     if isinstance(executor, MapExecutor):
         return executor
     if isinstance(executor, str):

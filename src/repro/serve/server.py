@@ -37,6 +37,8 @@ import numpy as np
 from repro.core.config import ELSIConfig
 from repro.core.update_processor import RebuildPredictor, UpdateProcessor
 from repro.indices.base import LearnedSpatialIndex
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span as _span
 from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
 from repro.serve.snapshots import SnapshotManager
 from repro.serve.stats import ServerStats
@@ -154,6 +156,12 @@ class IndexServer:
             snapshots = SnapshotManager(snapshots)
         self.snapshots: SnapshotManager | None = snapshots
         self._gen = Generation(generation, self._make_processor(index))
+        self._gen_swapped_at = time.time()
+        # Serving-health gauges, recorded into the per-server registry so
+        # stats_snapshot() exports them next to the counters/histograms.
+        self._journal_gauge = self.stats.registry.gauge("serve.rebuild_journal_depth")
+        self._age_gauge = self.stats.registry.gauge("serve.generation_age_seconds")
+        self._swap_hist = self.stats.registry.histogram("serve.swap_seconds")
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
         self._rebuild_wanted = threading.Event()
@@ -233,6 +241,16 @@ class IndexServer:
         """Logical cardinality |D'| of the current generation."""
         return self._gen.processor.n_effective
 
+    def stats_snapshot(self) -> dict:
+        """Exporter-format metrics dump: this server's registry (requests,
+        batches, rebuilds, swap latency, journal depth, generation age)
+        merged with the process-wide registry (build/query/perf metrics).
+        ``{name: [{labels, kind, value}, ...]}``, JSON-able."""
+        self._age_gauge.set(time.time() - self._gen_swapped_at)
+        out = dict(get_registry().export())
+        out.update(self.stats.registry.export())
+        return out
+
     # ------------------------------------------------------------------
     # Request submission (async) and sync conveniences
     # ------------------------------------------------------------------
@@ -290,6 +308,7 @@ class IndexServer:
                 result = processor.delete(point)
             if self._rebuilding:
                 self._pending_ops.append((op, point))
+                self._journal_gauge.set(len(self._pending_ops))
             self._updates_since_check += 1
             due = self._updates_since_check >= self.config.rebuild_check_every
             if due:
@@ -341,24 +360,33 @@ class IndexServer:
         started = time.perf_counter()
         errors = 0
         try:
-            points_idx = [i for i, r in enumerate(batch) if r.kind == POINT]
-            if points_idx:
-                pts = np.stack([batch[i].point for i in points_idx])
-                hits = gen.processor.point_queries(pts)
-                for i, hit in zip(points_idx, hits):
-                    batch[i].reply.resolve(bool(hit), gen.gen_id)
-            by_k: dict[int, list[int]] = {}
-            for i, r in enumerate(batch):
-                if r.kind == KNN:
-                    by_k.setdefault(r.k, []).append(i)
-            for k, members in by_k.items():
-                pts = np.stack([batch[i].point for i in members])
-                neighbours = gen.processor.knn_queries(pts, k)
-                for i, result in zip(members, neighbours):
-                    batch[i].reply.resolve(result, gen.gen_id)
-            for i, r in enumerate(batch):
-                if r.kind == WINDOW:
-                    r.reply.resolve(gen.processor.window_query(r.window), gen.gen_id)
+            with _span("serve.batch", size=len(batch), gen=gen.gen_id):
+                points_idx = [i for i, r in enumerate(batch) if r.kind == POINT]
+                if points_idx:
+                    pts = np.stack([batch[i].point for i in points_idx])
+                    hits = gen.processor.point_queries(pts)
+                    for i, hit in zip(points_idx, hits):
+                        batch[i].reply.resolve(bool(hit), gen.gen_id)
+                by_k: dict[int, list[int]] = {}
+                for i, r in enumerate(batch):
+                    if r.kind == KNN:
+                        by_k.setdefault(r.k, []).append(i)
+                for k, members in by_k.items():
+                    pts = np.stack([batch[i].point for i in members])
+                    neighbours = gen.processor.knn_queries(pts, k)
+                    for i, result in zip(members, neighbours):
+                        batch[i].reply.resolve(result, gen.gen_id)
+                window_idx = [i for i, r in enumerate(batch) if r.kind == WINDOW]
+                if window_idx:
+                    # All of the batch's windows go through the processor's
+                    # batch path at once (one model pass over every corner
+                    # on vectorised indices) instead of one call per window.
+                    with _span("serve.window_batch", windows=len(window_idx)):
+                        results = gen.processor.window_queries(
+                            [batch[i].window for i in window_idx]
+                        )
+                    for i, result in zip(window_idx, results):
+                        batch[i].reply.resolve(result, gen.gen_id)
         except BaseException as exc:  # noqa: BLE001 - must fail replies, not the worker
             for r in batch:
                 if not r.reply.done():
@@ -398,19 +426,29 @@ class IndexServer:
                 self._pending_ops = []
                 self._rebuilding = True
             try:
-                started = time.perf_counter()
-                fresh = self._index_factory()
-                fresh.build(points)
-                elapsed = time.perf_counter() - started
-                new_processor = self._make_processor(fresh)
-                with self._update_lock:
-                    for op, p in self._pending_ops:
-                        if op == "insert":
-                            new_processor.insert(p)
-                        else:
-                            new_processor.delete(p)
-                    self._pending_ops = []
-                    self._gen = Generation(old.gen_id + 1, new_processor)
+                with _span("serve.rebuild", gen=old.gen_id, n=len(points)):
+                    started = time.perf_counter()
+                    with _span("serve.rebuild.build", n=len(points)):
+                        fresh = self._index_factory()
+                        fresh.build(points)
+                    elapsed = time.perf_counter() - started
+                    new_processor = self._make_processor(fresh)
+                    swap_started = time.perf_counter()
+                    with _span("serve.rebuild.swap") as swap_span:
+                        with self._update_lock:
+                            depth = len(self._pending_ops)
+                            swap_span.set(journal_depth=depth)
+                            with _span("serve.rebuild.replay", journal_depth=depth):
+                                for op, p in self._pending_ops:
+                                    if op == "insert":
+                                        new_processor.insert(p)
+                                    else:
+                                        new_processor.delete(p)
+                            self._pending_ops = []
+                            self._gen = Generation(old.gen_id + 1, new_processor)
+                            self._gen_swapped_at = time.time()
+                    self._swap_hist.record(time.perf_counter() - swap_started)
+                    self._journal_gauge.set(0)
             finally:
                 with self._update_lock:
                     self._rebuilding = False

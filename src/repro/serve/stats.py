@@ -1,9 +1,15 @@
 """The server's stats surface: per-stage counters + latency histograms.
 
 Everything here is cheap enough to record on the hot path (a lock, a few
-integer increments, one bucket index per latency sample) and structured
+counter increments, one bucket index per latency sample) and structured
 enough for benchmarks and tests to assert on: :meth:`ServerStats.snapshot`
 returns a plain JSON-able dict.
+
+The instruments live in a per-server :class:`~repro.obs.metrics.MetricsRegistry`
+(so two servers in one process never mix their counts) and are therefore
+also available in the registry's exporter formats —
+:meth:`ServerStats.export` / :meth:`ServerStats.export_text` — alongside
+the process-wide build/query metrics (``IndexServer.stats_snapshot``).
 """
 
 from __future__ import annotations
@@ -12,67 +18,40 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import Histogram, MetricsRegistry
+
 __all__ = ["LatencyHistogram", "ServerStats"]
 
 
-class LatencyHistogram:
+def _seconds_snapshot(hist: Histogram) -> dict:
+    """A histogram snapshot with the serving surface's ``*_seconds`` keys."""
+    return {
+        "count": hist.count,
+        "mean_seconds": hist.mean,
+        "max_seconds": hist.max,
+        "p50_seconds": hist.percentile(50),
+        "p99_seconds": hist.percentile(99),
+    }
+
+
+class LatencyHistogram(Histogram):
     """Log-spaced latency histogram (1 µs .. ~134 s, doubling buckets).
 
+    A :class:`~repro.obs.metrics.Histogram` fixed to the serving layer's
+    shape, with the snapshot keys the serve benchmarks and tests assert on.
     Percentiles are estimated from bucket upper bounds — pessimistic by at
     most one doubling, which is plenty for serving dashboards and for the
-    benchmark's p50/p99 columns.  Exact count/total/max are kept alongside.
+    benchmark's p50/p99 columns.
     """
 
     BASE = 1e-6
     N_BUCKETS = 28
 
     def __init__(self) -> None:
-        self.counts = np.zeros(self.N_BUCKETS, dtype=np.int64)
-        self.total = 0.0
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        bucket = 0
-        scaled = seconds / self.BASE
-        while scaled > 1.0 and bucket < self.N_BUCKETS - 1:
-            scaled /= 2.0
-            bucket += 1
-        self.counts[bucket] += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    def record_many(self, seconds: "list[float] | np.ndarray") -> None:
-        for s in seconds:
-            self.record(float(s))
-
-    @property
-    def count(self) -> int:
-        return int(self.counts.sum())
-
-    @property
-    def mean(self) -> float:
-        n = self.count
-        return self.total / n if n else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper-bound estimate of the q-th percentile (q in [0, 100])."""
-        n = self.count
-        if n == 0:
-            return 0.0
-        rank = max(1, int(np.ceil(q / 100.0 * n)))
-        cumulative = np.cumsum(self.counts)
-        bucket = int(np.searchsorted(cumulative, rank))
-        return self.BASE * (2.0 ** (bucket + 1))
+        super().__init__(base=self.BASE, n_buckets=self.N_BUCKETS)
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean_seconds": self.mean,
-            "max_seconds": self.max,
-            "p50_seconds": self.percentile(50),
-            "p99_seconds": self.percentile(99),
-        }
+        return _seconds_snapshot(self)
 
 
 class ServerStats:
@@ -82,37 +61,58 @@ class ServerStats:
     dispatched, their sizes), *service* (per-batch execution time), and
     the end-to-end request latency.  Updates/rebuilds/snapshots have their
     own counters so tests can assert the background machinery ran.
+
+    All instruments come from ``registry`` (a fresh per-instance
+    :class:`~repro.obs.metrics.MetricsRegistry` by default); the legacy
+    attribute surface (``stats.batches``, ``stats.latency`` ...) reads the
+    same objects, so existing call sites keep working unchanged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
         self._lock = threading.Lock()
-        self.submitted: dict[str, int] = {}
-        self.completed = 0
-        self.errors = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.max_batch_size = 0
-        self.inserts = 0
-        self.deletes = 0
-        self.rebuilds = 0
-        self.rebuild_seconds = 0.0
-        self.generation_swaps = 0
-        self.snapshots_saved = 0
-        self.queue_wait = LatencyHistogram()
-        self.service = LatencyHistogram()
-        self.latency = LatencyHistogram()
+        self.registry = registry or MetricsRegistry()
+        r = self.registry
+        self._submitted_kinds: list[str] = []
+        self._completed = r.counter("serve.requests_completed")
+        self._errors = r.counter("serve.request_errors")
+        self._batches = r.counter("serve.batches")
+        self._batched_requests = r.counter("serve.batched_requests")
+        self._max_batch_size = r.gauge("serve.max_batch_size")
+        self._inserts = r.counter("serve.updates", op="insert")
+        self._deletes = r.counter("serve.updates", op="delete")
+        self._rebuilds = r.counter("serve.rebuilds")
+        self._rebuild_seconds = r.counter("serve.rebuild_seconds")
+        self._generation_swaps = r.counter("serve.generation_swaps")
+        self._snapshots_saved = r.counter("serve.snapshots_saved")
+        self.queue_wait = r.histogram(
+            "serve.queue_wait_seconds",
+            base=LatencyHistogram.BASE,
+            n_buckets=LatencyHistogram.N_BUCKETS,
+        )
+        self.service = r.histogram(
+            "serve.service_seconds",
+            base=LatencyHistogram.BASE,
+            n_buckets=LatencyHistogram.N_BUCKETS,
+        )
+        self.latency = r.histogram(
+            "serve.request_latency_seconds",
+            base=LatencyHistogram.BASE,
+            n_buckets=LatencyHistogram.N_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     def note_submit(self, kind: str) -> None:
         with self._lock:
-            self.submitted[kind] = self.submitted.get(kind, 0) + 1
+            if kind not in self._submitted_kinds:
+                self._submitted_kinds.append(kind)
+            self.registry.counter("serve.requests_submitted", kind=kind).inc()
 
     def note_update(self, kind: str) -> None:
         with self._lock:
             if kind == "insert":
-                self.inserts += 1
+                self._inserts.inc()
             else:
-                self.deletes += 1
+                self._deletes.inc()
 
     def note_batch(
         self,
@@ -123,35 +123,91 @@ class ServerStats:
         errors: int = 0,
     ) -> None:
         with self._lock:
-            self.batches += 1
-            self.batched_requests += size
-            self.completed += size - errors
-            self.errors += errors
-            if size > self.max_batch_size:
-                self.max_batch_size = size
+            self._batches.inc()
+            self._batched_requests.inc(size)
+            self._completed.inc(size - errors)
+            self._errors.inc(errors)
+            if size > self._max_batch_size.value:
+                self._max_batch_size.set(size)
             self.service.record(service_seconds)
             self.queue_wait.record_many(queue_waits)
             self.latency.record_many(latencies)
 
     def note_rebuild(self, seconds: float) -> None:
         with self._lock:
-            self.rebuilds += 1
-            self.rebuild_seconds += seconds
-            self.generation_swaps += 1
+            self._rebuilds.inc()
+            self._rebuild_seconds.inc(seconds)
+            self._generation_swaps.inc()
 
     def note_snapshot(self) -> None:
         with self._lock:
-            self.snapshots_saved += 1
+            self._snapshots_saved.inc()
 
     # ------------------------------------------------------------------
+    # Legacy attribute surface (reads the registry instruments)
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> dict[str, int]:
+        return {
+            kind: int(
+                self.registry.counter("serve.requests_submitted", kind=kind).value
+            )
+            for kind in self._submitted_kinds
+        }
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_requests(self) -> int:
+        return int(self._batched_requests.value)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._max_batch_size.value)
+
+    @property
+    def inserts(self) -> int:
+        return int(self._inserts.value)
+
+    @property
+    def deletes(self) -> int:
+        return int(self._deletes.value)
+
+    @property
+    def rebuilds(self) -> int:
+        return int(self._rebuilds.value)
+
+    @property
+    def rebuild_seconds(self) -> float:
+        return self._rebuild_seconds.value
+
+    @property
+    def generation_swaps(self) -> int:
+        return int(self._generation_swaps.value)
+
+    @property
+    def snapshots_saved(self) -> int:
+        return int(self._snapshots_saved.value)
+
     @property
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
 
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         with self._lock:
             return {
-                "submitted": dict(self.submitted),
+                "submitted": self.submitted,
                 "completed": self.completed,
                 "errors": self.errors,
                 "batches": self.batches,
@@ -163,7 +219,15 @@ class ServerStats:
                 "rebuild_seconds": self.rebuild_seconds,
                 "generation_swaps": self.generation_swaps,
                 "snapshots_saved": self.snapshots_saved,
-                "queue_wait": self.queue_wait.snapshot(),
-                "service": self.service.snapshot(),
-                "latency": self.latency.snapshot(),
+                "queue_wait": _seconds_snapshot(self.queue_wait),
+                "service": _seconds_snapshot(self.service),
+                "latency": _seconds_snapshot(self.latency),
             }
+
+    def export(self) -> dict:
+        """The registry exporter format (``{name: [{labels, kind, value}]}``)."""
+        return self.registry.export()
+
+    def export_text(self) -> str:
+        """Prometheus-style text lines for every serve instrument."""
+        return self.registry.export_text()

@@ -160,3 +160,64 @@ class TestBatchKNN:
         batch = index.knn_queries(far, 4)
         for q, got in zip(far, batch):
             np.testing.assert_array_equal(got, index.knn_query(q, 4))
+
+
+# ----------------------------------------------------------------------
+# Batch window queries
+# ----------------------------------------------------------------------
+class TestBatchWindowQueries:
+    def _windows(self, osm_points):
+        from repro.spatial.rect import Rect
+
+        rng = np.random.default_rng(5)
+        windows = []
+        for _ in range(12):
+            center = osm_points[rng.integers(len(osm_points))]
+            windows.append(Rect.centered(center, float(rng.uniform(0.01, 0.2))))
+        windows.append(Rect((2.0, 2.0), (3.0, 3.0)))  # empty window
+        return windows
+
+    @pytest.mark.parametrize("name", ["ZM", "ML", "RSMI", "LISA"])
+    def test_batch_matches_scalar(self, indices, osm_points, name):
+        index = indices[name]
+        windows = self._windows(osm_points)
+        batch = index.window_queries(windows)
+        assert len(batch) == len(windows)
+        for w, got in zip(windows, batch):
+            np.testing.assert_array_equal(got, index.window_query(w))
+
+    def test_batch_window_empty_list(self, indices):
+        assert indices["ZM"].window_queries([]) == []
+
+    def test_batch_window_query_stats_match_scalar(self, osm_points):
+        from repro.core.config import ELSIConfig
+
+        config = ELSIConfig(train_epochs=80)
+        a = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+        b = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(osm_points)
+        windows = self._windows(osm_points)
+        a.window_queries(windows)
+        for w in windows:
+            b.window_query(w)
+        assert a.query_stats.queries == b.query_stats.queries
+        assert a.query_stats.points_scanned == b.query_stats.points_scanned
+
+    def test_update_processor_batch_merges_side_list(self, osm_points):
+        from repro.core.config import ELSIConfig
+        from repro.core.update_processor import UpdateProcessor
+
+        config = ELSIConfig(train_epochs=80)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points
+        )
+        proc = UpdateProcessor(index, config=config)
+        proc.insert(np.array([0.501, 0.501]))
+        proc.delete(osm_points[0])
+        windows = self._windows(osm_points)
+        batch = proc.window_queries(windows)
+        for w, got in zip(windows, batch):
+            expected = proc.window_query(w)
+            np.testing.assert_array_equal(
+                got[np.lexsort(got.T)] if len(got) else got,
+                expected[np.lexsort(expected.T)] if len(expected) else expected,
+            )

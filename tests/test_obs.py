@@ -1,0 +1,378 @@
+"""Tests for the observability subsystem (repro.obs: metrics + tracing)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    build_tree,
+    load_trace,
+    missing_spans,
+    phase_totals,
+    render_report,
+    render_tree,
+)
+from repro.obs.trace import SpanRecord, Tracer, get_tracer, span, traced
+from repro.perf.executor import ENV_VAR, MapExecutor, resolve_executor
+
+
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+@pytest.fixture
+def tracer():
+    """The process-wide tracer, enabled for the test and reset afterwards."""
+    t = get_tracer()
+    t.enable()
+    t.reset()
+    yield t
+    t.disable()
+    t.reset()
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_records_name_duration_attrs(tracer):
+    with span("unit.work", n=7):
+        pass
+    records = tracer.find("unit.work")
+    assert len(records) == 1
+    rec = records[0]
+    assert rec.attrs == {"n": 7}
+    assert rec.duration >= 0.0
+    assert rec.parent_id is None
+
+
+def test_span_nesting_links_parents(tracer):
+    with span("outer") as outer:
+        with span("inner") as inner:
+            with span("leaf"):
+                pass
+    leaf = tracer.find("leaf")[0]
+    mid = tracer.find("inner")[0]
+    top = tracer.find("outer")[0]
+    assert leaf.parent_id == inner.span_id
+    assert mid.parent_id == outer.span_id
+    assert top.parent_id is None
+
+
+def test_span_set_attaches_attrs_in_flight(tracer):
+    with span("work", phase="start") as s:
+        s.set(result=42)
+    rec = tracer.find("work")[0]
+    assert rec.attrs == {"phase": "start", "result": 42}
+
+
+def test_traced_decorator(tracer):
+    @traced("decorated.call", tag="x")
+    def double(v):
+        return 2 * v
+
+    assert double(21) == 42
+    rec = tracer.find("decorated.call")[0]
+    assert rec.attrs == {"tag": "x"}
+
+
+def test_disabled_span_is_shared_noop():
+    t = get_tracer()
+    assert not t.enabled
+    a = span("anything", n=1)
+    b = span("else")
+    assert a is b  # the shared no-op: no allocation on the disabled path
+    with a as s:
+        s.set(ignored=True)  # must be callable and do nothing
+    assert t.spans() == []
+
+
+def test_ring_buffer_caps_retention():
+    t = Tracer(ring_size=4)
+    t.enable()
+    for i in range(10):
+        with t.span("tick", i=i):
+            pass
+    kept = t.spans()
+    assert len(kept) == 4
+    assert [r.attrs["i"] for r in kept] == [6, 7, 8, 9]
+
+
+def test_jsonl_sink_streams_spans(tmp_path, tracer):
+    path = tmp_path / "trace.jsonl"
+    tracer.enable(path=str(path))
+    with span("sinked", k=1):
+        pass
+    tracer.disable()  # flush + close
+    lines = [json.loads(l) for l in path.read_text().splitlines() if l.strip()]
+    assert [l["name"] for l in lines] == ["sinked"]
+    assert lines[0]["attrs"] == {"k": 1}
+
+
+def test_span_record_round_trips_through_dicts():
+    rec = SpanRecord(
+        name="x", span_id="1-2", parent_id=None, start=1.0,
+        duration=0.5, attrs={"a": 1}, pid=7, thread="main",
+    )
+    clone = SpanRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
+    assert clone.to_dict() == rec.to_dict()
+
+
+def test_capture_redirects_and_adopt_reparents(tracer):
+    with tracer.capture() as captured:
+        with tracer.span("worker.root"):
+            with tracer.span("worker.child"):
+                pass
+    assert tracer.spans() == []  # nothing published while capturing
+    assert {r.name for r in captured} == {"worker.root", "worker.child"}
+
+    shipped = [r.to_dict() for r in captured]  # what crosses the pickle boundary
+    tracer.adopt(shipped, parent_id="parent-span")
+    root = tracer.find("worker.root")[0]
+    child = tracer.find("worker.child")[0]
+    assert root.parent_id == "parent-span"
+    assert child.parent_id == root.span_id  # intra-batch links preserved
+
+
+# ----------------------------------------------------------------------
+# Executor tracing (thread + process workers)
+# ----------------------------------------------------------------------
+def test_thread_map_chunks_parent_under_map_span(tracer):
+    ex = MapExecutor(backend="thread", max_workers=2, chunk_size=3)
+    assert ex.map(_square, list(range(9))) == [x * x for x in range(9)]
+    map_spans = tracer.find("perf.map")
+    assert len(map_spans) == 1
+    assert map_spans[0].attrs["backend"] == "thread"
+    chunks = tracer.find("perf.chunk")
+    assert len(chunks) == 3
+    assert all(c.parent_id == map_spans[0].span_id for c in chunks)
+
+
+def test_process_map_worker_spans_survive_pickling(tracer):
+    import os
+
+    ex = MapExecutor(backend="process", max_workers=2, chunk_size=2)
+    assert ex.map(_square, list(range(8))) == [x * x for x in range(8)]
+    map_spans = tracer.find("perf.map")
+    assert len(map_spans) == 1
+    assert "utilisation" in map_spans[0].attrs
+    chunks = tracer.find("perf.chunk")
+    assert len(chunks) == 4
+    assert all(c.parent_id == map_spans[0].span_id for c in chunks)
+    # The chunk spans really came from worker processes.
+    assert all(c.pid != os.getpid() for c in chunks)
+
+
+def test_disabled_map_takes_untraced_path():
+    t = get_tracer()
+    assert not t.enabled
+    ex = MapExecutor(backend="thread", max_workers=2)
+    assert ex.map(_square, list(range(5))) == [x * x for x in range(5)]
+    assert t.spans() == []
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_bucket_edges():
+    h = Histogram(base=1.0, n_buckets=5)
+    # Bucket 0 is [0, base]; bucket i covers (base*2**(i-1), base*2**i].
+    assert h.bucket_index(0.0) == 0
+    assert h.bucket_index(1.0) == 0
+    assert h.bucket_index(1.0001) == 1
+    assert h.bucket_index(2.0) == 1
+    assert h.bucket_index(4.0) == 2
+    assert h.bucket_index(8.0) == 3
+    # Everything past the last boundary lands in the final bucket.
+    assert h.bucket_index(1e9) == 4
+    assert h.bucket_bounds(0) == (0.0, 1.0)
+    assert h.bucket_bounds(2) == (2.0, 4.0)
+    with pytest.raises(IndexError):
+        h.bucket_bounds(5)
+
+
+def test_histogram_stats_and_percentiles():
+    h = Histogram(base=1.0, n_buckets=8)
+    h.record_many([0.5, 1.5, 3.0, 3.5, 100.0])
+    assert h.count == 5
+    assert h.max == 100.0
+    assert h.mean == pytest.approx(108.5 / 5)
+    # Percentiles are pessimistic bucket-bound estimates (within a doubling).
+    assert h.percentile(50) == 8.0
+    assert h.percentile(99) == 256.0  # last bucket of an 8-bucket base-1 histogram
+    assert Histogram().percentile(99) == 0.0  # empty histogram
+
+
+def test_histogram_merge_adds_samples():
+    a = Histogram(base=1.0, n_buckets=6)
+    b = Histogram(base=1.0, n_buckets=6)
+    a.record_many([0.5, 2.0])
+    b.record_many([4.0, 9.0])
+    a.merge(b)
+    assert a.count == 4
+    assert a.total == pytest.approx(15.5)
+    assert a.max == 9.0
+    np.testing.assert_array_equal(
+        a.counts, Histogram(base=1.0, n_buckets=6).counts + [1, 1, 1, 0, 1, 0]
+    )
+
+
+def test_histogram_merge_rejects_shape_mismatch():
+    a = Histogram(base=1.0, n_buckets=6)
+    with pytest.raises(ValueError, match="merge"):
+        a.merge(Histogram(base=2.0, n_buckets=6))
+    with pytest.raises(ValueError, match="merge"):
+        a.merge(Histogram(base=1.0, n_buckets=7))
+
+
+def test_histogram_validates_construction():
+    with pytest.raises(ValueError, match="base"):
+        Histogram(base=0.0)
+    with pytest.raises(ValueError, match="n_buckets"):
+        Histogram(n_buckets=0)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_identity():
+    r = MetricsRegistry()
+    c1 = r.counter("reqs", kind="point")
+    c2 = r.counter("reqs", kind="point")
+    c3 = r.counter("reqs", kind="window")
+    assert c1 is c2
+    assert c1 is not c3
+    c1.inc(3)
+    assert r.counter("reqs", kind="point").value == 3
+
+
+def test_registry_rejects_kind_and_shape_mismatch():
+    r = MetricsRegistry()
+    r.counter("thing")
+    with pytest.raises(ValueError, match="already registered"):
+        r.gauge("thing")
+    r.histogram("lat", base=1e-6, n_buckets=28)
+    with pytest.raises(ValueError, match="already registered"):
+        r.histogram("lat", base=1.0, n_buckets=28)
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter()
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(5)
+    g.inc(2)
+    g.dec(3)
+    assert g.value == 4.0
+
+
+def test_registry_export_formats():
+    r = MetricsRegistry()
+    r.counter("jobs", backend="thread").inc(4)
+    r.gauge("depth").set(2)
+    r.histogram("lat", base=1.0, n_buckets=4).record(3.0)
+    dump = r.export()
+    assert dump["jobs"] == [
+        {"labels": {"backend": "thread"}, "kind": "counter", "value": 4.0}
+    ]
+    assert dump["depth"][0]["value"] == 2.0
+    assert dump["lat"][0]["value"]["count"] == 1
+    text = r.export_text()
+    assert 'jobs{backend="thread"} 4' in text
+    assert "lat_count 1" in text
+    assert json.loads(r.export_json())["depth"][0]["kind"] == "gauge"
+
+
+# ----------------------------------------------------------------------
+# Report (trace loading + rendering)
+# ----------------------------------------------------------------------
+def _rec(name, span_id, parent_id=None, start=0.0, duration=1.0, **attrs):
+    return SpanRecord(
+        name=name, span_id=span_id, parent_id=parent_id, start=start,
+        duration=duration, attrs=attrs, pid=1, thread="main",
+    )
+
+
+def test_build_tree_orphans_become_roots():
+    records = [
+        _rec("child", "c", parent_id="gone"),
+        _rec("root", "r", start=1.0),
+        _rec("kid", "k", parent_id="r", start=2.0),
+    ]
+    roots, children = build_tree(records)
+    assert [r.name for r in roots] == ["child", "root"]
+    assert [r.name for r in children["r"]] == ["kid"]
+
+
+def test_phase_totals_self_time_excludes_children():
+    records = [
+        _rec("build", "b", duration=1.0),
+        _rec("build.train", "t", parent_id="b", duration=0.7),
+    ]
+    totals = phase_totals(records)
+    assert totals["build"]["self_seconds"] == pytest.approx(0.3)
+    assert totals["build.train"]["total_seconds"] == pytest.approx(0.7)
+    assert totals["build"]["count"] == 1
+
+
+def test_missing_spans():
+    records = [_rec("build", "b"), _rec("query.refine", "q")]
+    assert missing_spans(records, ["build", "serve.batch"]) == ["serve.batch"]
+    assert missing_spans(records, ["build", "query.refine"]) == []
+
+
+def test_render_report_mentions_phases_and_attrs():
+    records = [
+        _rec("build", "b", duration=1.0, index="ZM"),
+        _rec("build.train", "t", parent_id="b", duration=0.7, method="SP"),
+    ]
+    text = render_report(records)
+    assert "Per-phase cost breakdown" in text
+    assert "Span tree" in text
+    assert "build.train" in text
+    assert "index=ZM" in text
+    tree = render_tree(records, max_depth=1)
+    assert "build.train" not in tree  # depth cut honoured
+
+
+def test_load_trace_round_trip_and_errors(tmp_path):
+    good = tmp_path / "trace.jsonl"
+    good.write_text(
+        json.dumps(_rec("build", "b").to_dict()) + "\n\n"
+        + json.dumps(_rec("kid", "k", parent_id="b").to_dict()) + "\n"
+    )
+    records = load_trace(str(good))
+    assert [r.name for r in records] == ["build", "kid"]
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"name": "x"}\nnot json\n')
+    with pytest.raises(ValueError, match="malformed span line"):
+        load_trace(str(bad))
+
+
+# ----------------------------------------------------------------------
+# REPRO_PARALLELISM spec parsing
+# ----------------------------------------------------------------------
+def test_from_spec_rejects_malformed_values():
+    with pytest.raises(ValueError, match="accepted forms"):
+        MapExecutor.from_spec("")
+    with pytest.raises(ValueError, match="unknown backend"):
+        MapExecutor.from_spec("gpu:4")
+    with pytest.raises(ValueError, match="integer"):
+        MapExecutor.from_spec("thread:4.5")
+    with pytest.raises(ValueError, match="positive"):
+        MapExecutor.from_spec("thread:0")
+    with pytest.raises(ValueError, match="positive"):
+        MapExecutor.from_spec("process:-2")
+
+
+def test_resolve_executor_names_env_var_on_bad_spec(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "warp:9")
+    with pytest.raises(ValueError, match=ENV_VAR):
+        resolve_executor(None)

@@ -81,6 +81,42 @@ class TestBasicServing:
         assert snap["latency"]["count"] == 40
         assert snap["latency"]["p99_seconds"] >= snap["latency"]["p50_seconds"]
 
+    def test_window_micro_batch_matches_direct(self, built_index, osm_points):
+        rng = np.random.default_rng(3)
+        windows = [
+            Rect.centered(osm_points[rng.integers(len(osm_points))], 0.1)
+            for _ in range(8)
+        ]
+        with _server(built_index) as server:
+            replies = [server.submit_window(w) for w in windows]
+            for w, reply in zip(windows, replies):
+                np.testing.assert_array_equal(
+                    reply.wait(20), built_index.window_query(w)
+                )
+
+    def test_stats_snapshot_export_format(self, built_index, osm_points):
+        with _server(built_index) as server:
+            for p in osm_points[:10]:
+                server.point_query(p)
+            dump = server.stats_snapshot()
+        # Exporter format: {name: [{labels, kind, value}, ...]}.
+        assert dump["serve.requests_submitted"] == [
+            {"labels": {"kind": "point"}, "kind": "counter", "value": 10.0}
+        ]
+        assert dump["serve.batches"][0]["kind"] == "counter"
+        assert dump["serve.request_latency_seconds"][0]["kind"] == "histogram"
+        assert dump["serve.request_latency_seconds"][0]["value"]["count"] == 10
+        # Serving-health gauges are exported alongside the counters.
+        assert dump["serve.generation_age_seconds"][0]["value"] >= 0.0
+        assert "serve.rebuild_journal_depth" in dump
+
+    def test_stats_export_text(self, built_index, osm_points):
+        with _server(built_index) as server:
+            server.point_query(osm_points[0])
+            text = server.stats.export_text()
+        assert 'serve.requests_submitted{kind="point"} 1' in text
+        assert "serve.request_latency_seconds_count 1" in text
+
     def test_bad_config_rejected(self):
         with pytest.raises(ValueError):
             ServeConfig(max_batch_size=0)
