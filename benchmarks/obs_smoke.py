@@ -42,6 +42,14 @@ def main() -> int:
     )
     index.knn_queries(pts[:8], 5)
 
+    # The level-wise RSMI build: rsmi.fit_level spans with one perf.map
+    # dispatch per tree level, plus traced point/window queries.
+    from repro.indices.rsmi import RSMIIndex
+
+    rsmi = RSMIIndex(builder=elsi.builder(), leaf_capacity=500).build(pts)
+    rsmi.point_query(pts[0])
+    rsmi.window_query(Rect((0.3, 0.3), (0.5, 0.5)))
+
     server = IndexServer(index, index_factory=lambda: ZMIndex(builder=elsi.builder()))
     with server:
         replies = [server.submit_point(p) for p in pts[:32]]

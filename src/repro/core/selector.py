@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.data.controlled import dataset_with_uniform_distance
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.obs.trace import span as _span
+from repro.perf.executor import MapExecutor, resolve_executor, serial_nested
 from repro.spatial.cdf import uniform_dissimilarity
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
@@ -74,6 +76,98 @@ class DatasetRecord:
         return list(self.speedups)
 
 
+@dataclass
+class _CellJob:
+    """One (cardinality, delta) grid cell, packaged for executor dispatch.
+
+    Pure data plus the user's ``index_factory`` — picklable as long as the
+    factory is (a module-level function; required for the process backend).
+    """
+
+    index_factory: Callable
+    config: ELSIConfig
+    n: int
+    delta: float
+    seed: int
+    n_queries: int
+    query_kind: str
+    #: Set when the grid itself runs on a pool: nested build dispatch inside
+    #: the worker is forced serial so cells never open pools of their own.
+    nested_serial: bool = False
+
+
+def _og_baseline(timings: dict[str, tuple[float, float]]) -> tuple[float, float]:
+    """OG's (build, query) times, or the per-component max when OG was not
+    measured.  The components are taken independently: a tuple-max would
+    compare lexicographically and could pair the slowest build with an
+    unrelated (possibly fast) query time."""
+    if "OG" in timings:
+        return timings["OG"]
+    return (
+        max(bt for bt, _qt in timings.values()),
+        max(qt for _bt, qt in timings.values()),
+    )
+
+
+def _measure_cell(job: _CellJob) -> DatasetRecord:
+    """Build + query every method on one generated data set (executor job).
+
+    All ``time.perf_counter`` measurements happen here, inside the worker,
+    so per-cell timings stay valid under thread/process dispatch; only the
+    finished :class:`DatasetRecord` travels back to the parent.
+    """
+    if job.nested_serial:
+        with serial_nested():
+            return _measure_cell_inner(job)
+    return _measure_cell_inner(job)
+
+
+def _measure_cell_inner(job: _CellJob) -> DatasetRecord:
+    cfg = job.config
+    # Idempotent; keeps MR pool preparation out of the timed builds even
+    # when the worker did not inherit the parent's warm pool (spawn start
+    # methods copy nothing).
+    _warm_mr_pool(cfg)
+    with _span("selector.cell", n=job.n, delta=job.delta) as cell_span:
+        points = dataset_with_uniform_distance(job.n, job.delta, seed=job.seed)
+        keys = np.sort(zvalues(points, Rect.bounding(points)).astype(np.float64))
+        dist_u = uniform_dissimilarity(keys, assume_sorted=True)
+        cell_span.set(dist_u=round(dist_u, 4))
+        record = DatasetRecord(n=job.n, dist_u=dist_u)
+        timings: dict[str, tuple[float, float]] = {}
+        rng = np.random.default_rng(job.seed)
+        query_ids = rng.integers(0, job.n, size=min(job.n_queries, job.n))
+        if job.query_kind == "window":
+            from repro.queries.workload import window_workload
+
+            windows = window_workload(
+                points, max(job.n_queries // 5, 5), 1e-3, seed=job.seed
+            )
+        for method in cfg.methods:
+            with _span("selector.method", method=method, n=job.n):
+                builder = ELSIModelBuilder(cfg, method=method)
+                started = time.perf_counter()
+                index = job.index_factory(builder)
+                index.build(points)
+                build_time = time.perf_counter() - started
+                started = time.perf_counter()
+                if job.query_kind == "point":
+                    for qi in query_ids:
+                        index.point_query(points[qi])
+                else:
+                    for window in windows:
+                        window.run(index)
+                query_time = time.perf_counter() - started
+                timings[method] = (build_time, query_time)
+        og_build, og_query = _og_baseline(timings)
+        for method, (bt, qt) in timings.items():
+            record.speedups[method] = (
+                og_build / max(bt, 1e-9),
+                og_query / max(qt, 1e-9),
+            )
+    return record
+
+
 def collect_selector_data(
     index_factory,
     config: ELSIConfig | None = None,
@@ -82,6 +176,7 @@ def collect_selector_data(
     n_queries: int = 200,
     seed: int = 0,
     query_kind: str = "point",
+    executor: "MapExecutor | str | None" = None,
 ) -> list[DatasetRecord]:
     """Measure per-method build and query speedups over the (n, dist) grid.
 
@@ -93,61 +188,53 @@ def collect_selector_data(
     (the paper's choice — "point queries are building blocks for more
     complex queries") or ``"window"`` (the paper: "Costs of other query
     types, e.g., window queries, can also be considered").
+
+    Grid cells are independent build+query measurements, so they dispatch
+    through a :class:`~repro.perf.executor.MapExecutor`: ``executor`` (a
+    backend spec such as ``"process:4"`` or an instance) takes precedence
+    over ``config.parallelism``, and ``REPRO_PARALLELISM`` overrides both.
+    The process backend sidesteps the GIL — the right choice here, since
+    cell builds are dominated by Python-level training loops — but needs a
+    picklable ``index_factory`` (a module-level function, not a lambda).
+    Each cell times itself inside its worker, so per-cell speedups remain
+    valid under parallel dispatch; inside workers any nested build
+    parallelism is forced serial so cells never open pools of their own.
     """
     if query_kind not in ("point", "window"):
         raise ValueError(f"query_kind must be 'point' or 'window', got {query_kind!r}")
     cfg = config or ELSIConfig()
+    # Warm MR in the parent: fork-started workers inherit the pool.
     _warm_mr_pool(cfg)
-    records: list[DatasetRecord] = []
+    ex = resolve_executor(
+        executor
+        if executor is not None
+        else MapExecutor(
+            backend=cfg.parallelism, max_workers=cfg.parallel_workers
+        )
+    )
+    pooled = ex.backend in ("thread", "process")
+    jobs = [
+        _CellJob(
+            index_factory=index_factory,
+            config=cfg,
+            n=n,
+            delta=delta,
+            seed=seed + i,
+            n_queries=n_queries,
+            query_kind=query_kind,
+            nested_serial=pooled,
+        )
+        for n in cardinalities
+        for i, delta in enumerate(deltas)
+    ]
     with _span(
         "selector.collect",
-        cells=len(cardinalities) * len(deltas),
+        cells=len(jobs),
         methods=len(cfg.methods),
         query_kind=query_kind,
+        backend=ex.backend,
     ):
-        for n in cardinalities:
-            for i, delta in enumerate(deltas):
-                with _span("selector.cell", n=n, delta=delta) as cell_span:
-                    points = dataset_with_uniform_distance(n, delta, seed=seed + i)
-                    keys = np.sort(
-                        zvalues(points, Rect.bounding(points)).astype(np.float64)
-                    )
-                    dist_u = uniform_dissimilarity(keys, assume_sorted=True)
-                    cell_span.set(dist_u=round(dist_u, 4))
-                    record = DatasetRecord(n=n, dist_u=dist_u)
-                    timings: dict[str, tuple[float, float]] = {}
-                    rng = np.random.default_rng(seed + i)
-                    query_ids = rng.integers(0, n, size=min(n_queries, n))
-                    if query_kind == "window":
-                        from repro.queries.workload import window_workload
-
-                        windows = window_workload(
-                            points, max(n_queries // 5, 5), 1e-3, seed=seed + i
-                        )
-                    for method in cfg.methods:
-                        with _span("selector.method", method=method, n=n):
-                            builder = ELSIModelBuilder(cfg, method=method)
-                            started = time.perf_counter()
-                            index = index_factory(builder)
-                            index.build(points)
-                            build_time = time.perf_counter() - started
-                            started = time.perf_counter()
-                            if query_kind == "point":
-                                for qi in query_ids:
-                                    index.point_query(points[qi])
-                            else:
-                                for window in windows:
-                                    window.run(index)
-                            query_time = time.perf_counter() - started
-                            timings[method] = (build_time, query_time)
-                    og_build, og_query = timings.get("OG", max(timings.values()))
-                    for method, (bt, qt) in timings.items():
-                        record.speedups[method] = (
-                            og_build / max(bt, 1e-9),
-                            og_query / max(qt, 1e-9),
-                        )
-                    records.append(record)
-    return records
+        return ex.submit_many([(_measure_cell, (job,)) for job in jobs])
 
 
 def records_to_samples(records: list[DatasetRecord]) -> list[ScorerSample]:

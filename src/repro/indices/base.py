@@ -358,10 +358,15 @@ class ModelBuilder(ABC):
         self,
         partitions: list[tuple[np.ndarray, np.ndarray]],
         stats: BuildStats,
-        map_fn: "MapFn | None" = None,
+        map_fn: "MapFn | list[MapFn | None] | None" = None,
         executor: "MapExecutor | None" = None,
     ) -> list[TrainedModel]:
         """Build one model per ``(sorted_keys, sorted_points)`` partition.
+
+        ``map_fn`` is either one mapping shared by every partition (RMI
+        stage-2 leaves over a global curve) or a list with one mapping per
+        partition (RSMI's node-local curves, where each sibling has its own
+        bounding box).
 
         Results are returned in partition order and are identical across
         the serial/thread/process backends; the fused backend trains all
@@ -370,18 +375,27 @@ class ModelBuilder(ABC):
         the standard per-model path, preserving predict-and-scan
         correctness.
         """
+        if isinstance(map_fn, list):
+            if len(map_fn) != len(partitions):
+                raise ValueError(
+                    f"got {len(map_fn)} map functions for {len(partitions)} partitions"
+                )
+            map_fns = map_fn
+        else:
+            map_fns = [map_fn] * len(partitions)
         ex = resolve_executor(executor if executor is not None else self.executor)
         with _span(
             "build.models", partitions=len(partitions), backend=ex.backend
         ):
             try:
                 jobs = [
-                    self.prepare_fit_job(keys, pts, map_fn) for keys, pts in partitions
+                    self.prepare_fit_job(keys, pts, mf)
+                    for (keys, pts), mf in zip(partitions, map_fns)
                 ]
             except NotImplementedError:
                 return [
-                    self.build_model(keys, pts, stats, map_fn)
-                    for keys, pts in partitions
+                    self.build_model(keys, pts, stats, mf)
+                    for (keys, pts), mf in zip(partitions, map_fns)
                 ]
             if ex.backend == "fused":
                 outcomes = _run_fit_jobs_fused(jobs)

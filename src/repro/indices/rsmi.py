@@ -14,6 +14,16 @@ Every node model is trained through the pluggable
 :class:`~repro.indices.base.ModelBuilder`, which is exactly the multi-model
 scenario Figure 3 illustrates ELSI accelerating (models M_{0,0}, M_{1,0},
 M_{1,1} built one at a time).
+
+Build strategies.  The default ``"level"`` strategy restructures the
+recursion into level-wise frontiers: every sibling subtree's model fit at a
+given depth is an independent job, dispatched as one
+:meth:`~repro.indices.base.ModelBuilder.build_models` call per level
+through the builder's executor (``perf.map`` spans under each
+``rsmi.fit_level``).  The trees and predictions are identical to the
+``"recursive"`` reference strategy — node preparation stays in tree order
+and every fit job is a pure function of its partition — so the strategies
+are interchangeable and parity-tested.
 """
 
 from __future__ import annotations
@@ -29,11 +39,14 @@ from repro.indices.base import (
     ModelBuilder,
     TrainedModel,
 )
+from repro.obs.trace import span as _span
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
 from repro.storage.blocks import BlockStore
 
 __all__ = ["RSMIIndex"]
+
+BUILD_STRATEGIES = ("level", "recursive")
 
 
 @dataclass
@@ -66,6 +79,11 @@ class RSMIIndex(LearnedSpatialIndex):
         Children per internal node.
     bits:
         Morton resolution for the per-node local curve.
+    build_strategy:
+        ``"level"`` (default) fits all sibling subtrees of one depth as a
+        single ``build_models`` dispatch per level (executor-parallel);
+        ``"recursive"`` is the depth-first reference.  Both produce the
+        same tree and the same predictions.
     """
 
     name = "RSMI"
@@ -77,15 +95,22 @@ class RSMIIndex(LearnedSpatialIndex):
         leaf_capacity: int = 2_000,
         fanout: int = 4,
         bits: int = 16,
+        build_strategy: str = "level",
     ) -> None:
         super().__init__(builder, block_size)
         if leaf_capacity < 1:
             raise ValueError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
         if fanout < 2:
             raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if build_strategy not in BUILD_STRATEGIES:
+            raise ValueError(
+                f"build_strategy must be one of {BUILD_STRATEGIES}, "
+                f"got {build_strategy!r}"
+            )
         self.leaf_capacity = leaf_capacity
         self.fanout = fanout
         self.bits = bits
+        self.build_strategy = build_strategy
         self.root: _Node | None = None
 
     # ------------------------------------------------------------------
@@ -95,20 +120,65 @@ class RSMIIndex(LearnedSpatialIndex):
         pts = self._prepare_points(points)
         self.bounds = Rect.bounding(pts)
         self.n_points = len(pts)
-        self.root = self._build_node(pts, self.bounds, depth=0)
+        with _span(
+            "rsmi.build", n=len(pts), strategy=self.build_strategy
+        ) as build_span:
+            self.root = self._build_subtree(pts, self.bounds, depth=0)
+            build_span.set(models=self.n_models(), depth=self.depth())
         return self
+
+    def _build_subtree(self, points: np.ndarray, bounds: Rect, depth: int) -> _Node:
+        """Build one subtree with the configured strategy (full builds start
+        at the root; leaf-overflow rebuilds start at the old leaf's depth)."""
+        if self.build_strategy == "recursive":
+            return self._build_node(points, bounds, depth)
+        return self._build_levelwise(points, bounds, depth)
 
     def _node_keys(self, points: np.ndarray, bounds: Rect) -> np.ndarray:
         """Morton codes local to the node's bounding box."""
         return zvalues(points, bounds, self.bits).astype(np.float64)
 
-    def _build_node(self, points: np.ndarray, bounds: Rect, depth: int) -> _Node:
+    def _sort_by_node_keys(
+        self, points: np.ndarray, bounds: Rect
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Key-sort a partition on its node-local curve (timed as prepare)."""
         started = time.perf_counter()
         keys = self._node_keys(points, bounds)
         order = np.argsort(keys, kind="stable")
         sorted_pts = points[order]
         sorted_keys = keys[order]
         self.build_stats.prepare_seconds += time.perf_counter() - started
+        return sorted_pts, sorted_keys
+
+    def _split_specs(
+        self, node: _Node, sorted_pts: np.ndarray, sorted_keys: np.ndarray
+    ) -> "list[tuple[int, np.ndarray, Rect]]":
+        """Decide leaf vs. split for a freshly modelled node.
+
+        Returns the non-empty child partitions as ``(branch, points,
+        bounds)`` in branch order — empty for a leaf.  Shared by both build
+        strategies so the routing decision cannot diverge between them.
+        """
+        if len(sorted_pts) <= self.leaf_capacity or node.depth >= 16:
+            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
+            return []
+        branch = self._route(node.model, sorted_keys, len(sorted_pts))
+        counts = np.bincount(branch, minlength=self.fanout)
+        if counts.max() == len(sorted_pts):
+            # Degenerate model: everything routed to one child.  Fall back
+            # to a leaf; the scan bounds still guarantee point lookups.
+            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
+            return []
+        specs = []
+        for b in range(self.fanout):
+            mask = branch == b
+            if mask.any():
+                child_pts = sorted_pts[mask]
+                specs.append((b, child_pts, Rect.bounding(child_pts)))
+        return specs
+
+    def _build_node(self, points: np.ndarray, bounds: Rect, depth: int) -> _Node:
+        sorted_pts, sorted_keys = self._sort_by_node_keys(points, bounds)
 
         node_map = lambda pts: self._node_keys(pts, bounds)  # noqa: E731
         model = self.builder.build_model(
@@ -116,27 +186,70 @@ class RSMIIndex(LearnedSpatialIndex):
         )
         node = _Node(bounds=bounds, model=model, n=len(points), depth=depth)
 
-        if len(points) <= self.leaf_capacity or depth >= 16:
-            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
+        specs = self._split_specs(node, sorted_pts, sorted_keys)
+        if not specs:
             return node
-
-        branch = self._route(model, sorted_keys, len(points))
-        counts = np.bincount(branch, minlength=self.fanout)
-        if counts.max() == len(points):
-            # Degenerate model: everything routed to one child.  Fall back
-            # to a leaf; the scan bounds still guarantee point lookups.
-            node.store = BlockStore(sorted_pts, sorted_keys, block_size=self.block_size)
-            return node
-
-        for b in range(self.fanout):
-            mask = branch == b
-            if not mask.any():
-                node.children.append(None)
-                continue
-            child_pts = sorted_pts[mask]
-            child_bounds = Rect.bounding(child_pts)
-            node.children.append(self._build_node(child_pts, child_bounds, depth + 1))
+        node.children = [None] * self.fanout
+        for b, child_pts, child_bounds in specs:
+            node.children[b] = self._build_node(child_pts, child_bounds, depth + 1)
         return node
+
+    def _build_levelwise(self, points: np.ndarray, bounds: Rect, depth: int) -> _Node:
+        """Frontier build: one ``build_models`` dispatch per tree level.
+
+        Sibling subtrees at the same depth are independent — their model
+        fits go to the builder's executor as a single batch, so the
+        thread/process backends overlap them and the fused backend trains
+        them in one vectorised pass.  Node preparation (sort, routing)
+        stays in deterministic tree order, which keeps the result identical
+        to the recursive strategy.
+        """
+        # A frontier entry: (points, bounds, depth, attach) where attach
+        # places the finished node on its parent (or captures the root).
+        root_ref: list[_Node | None] = [None]
+
+        def _set_root(node: _Node) -> None:
+            root_ref[0] = node
+
+        frontier: list = [(points, bounds, depth, _set_root)]
+        while frontier:
+            level_depth = frontier[0][2]
+            with _span("rsmi.fit_level", level=level_depth, nodes=len(frontier)):
+                frontier = self._fit_level(frontier)
+        assert root_ref[0] is not None
+        return root_ref[0]
+
+    def _fit_level(self, frontier: list) -> list:
+        """Fit every frontier node's model in one dispatch; expand splits."""
+        prepared = [
+            self._sort_by_node_keys(pts, bounds) for pts, bounds, _d, _a in frontier
+        ]
+        map_fns = [
+            (lambda pts, b=bounds: self._node_keys(pts, b))
+            for _pts, bounds, _d, _a in frontier
+        ]
+        models = self.builder.build_models(
+            [(keys, pts) for pts, keys in prepared],
+            self.build_stats,
+            map_fn=map_fns,
+        )
+        next_frontier: list = []
+        for (pts, bounds, depth, attach), (sorted_pts, sorted_keys), model in zip(
+            frontier, prepared, models
+        ):
+            node = _Node(bounds=bounds, model=model, n=len(pts), depth=depth)
+            attach(node)
+            specs = self._split_specs(node, sorted_pts, sorted_keys)
+            if not specs:
+                continue
+            node.children = [None] * self.fanout
+            for b, child_pts, child_bounds in specs:
+
+                def _attach(child: _Node, children=node.children, slot=b) -> None:
+                    children[slot] = child
+
+                next_frontier.append((child_pts, child_bounds, depth + 1, _attach))
+        return next_frontier
 
     def _route(self, model: TrainedModel, keys: np.ndarray, n: int) -> np.ndarray:
         """Child assignment: the model's predicted rank, bucketed by fanout."""
@@ -177,7 +290,7 @@ class RSMIIndex(LearnedSpatialIndex):
         node.inserts += 1
         self.n_points += 1
         if len(node.store) > 2 * self.leaf_capacity and node.depth < 16:
-            rebuilt = self._build_node(node.store.points, node.bounds, node.depth)
+            rebuilt = self._build_subtree(node.store.points, node.bounds, node.depth)
             if parent is None:
                 self.root = rebuilt
             else:
@@ -199,28 +312,38 @@ class RSMIIndex(LearnedSpatialIndex):
         q = np.asarray(point, dtype=np.float64)
         node = self.root
         self.query_stats.queries += 1
-        while True:
-            key = float(self._node_keys(q[None, :], node.bounds)[0])
-            self.query_stats.model_invocations += 1
-            if node.is_leaf:
-                assert node.store is not None
-                lo, hi = node.model.search_range(key)
-                pts, keys, _ids = node.store.scan(lo - node.inserts, hi + node.inserts)
-                self.query_stats.points_scanned += len(pts)
-                match = keys == key
-                return bool(np.any(match & np.all(pts == q, axis=1)))
-            branch = int(self._route(node.model, np.array([key]), node.n)[0])
-            child = node.children[branch]
-            if child is None:
-                return False
-            node = child
+        with _span("rsmi.point", index=self.name) as point_span:
+            hops = 0
+            while True:
+                key = float(self._node_keys(q[None, :], node.bounds)[0])
+                self.query_stats.model_invocations += 1
+                hops += 1
+                if node.is_leaf:
+                    assert node.store is not None
+                    lo, hi = node.model.search_range(key)
+                    pts, keys, _ids = node.store.scan(
+                        lo - node.inserts, hi + node.inserts
+                    )
+                    self.query_stats.points_scanned += len(pts)
+                    point_span.set(hops=hops, scanned=len(pts))
+                    match = keys == key
+                    return bool(np.any(match & np.all(pts == q, axis=1)))
+                branch = int(self._route(node.model, np.array([key]), node.n)[0])
+                child = node.children[branch]
+                if child is None:
+                    point_span.set(hops=hops, scanned=0)
+                    return False
+                node = child
 
     def window_query(self, window: Rect) -> np.ndarray:
         self._check_built()
         assert self.root is not None
         self.query_stats.queries += 1
-        results: list[np.ndarray] = []
-        self._window_visit(self.root, window, results)
+        with _span("rsmi.window", index=self.name) as window_span:
+            results: list[np.ndarray] = []
+            self._window_visit(self.root, window, results)
+            matched = sum(len(r) for r in results)
+            window_span.set(matched=matched)
         if not results:
             return np.empty((0, window.ndim))
         return np.vstack(results)

@@ -29,18 +29,33 @@ fan-outs.
 Backend selection: the ``REPRO_PARALLELISM`` environment variable
 (``backend`` or ``backend:workers``, e.g. ``thread:4``) overrides
 ``ELSIConfig.parallelism``; see :func:`resolve_executor`.
+
+Nested dispatch: a job running inside a pool worker must not open pools of
+its own (a process-backed grid cell that builds an index would otherwise
+fork ``workers``² processes).  Workers that dispatch further build work
+wrap it in :func:`serial_nested`, which makes every ``resolve_executor``
+call on that thread — including env-var overrides — resolve to the serial
+backend until the context exits.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.obs import trace as _trace
 
-__all__ = ["BACKENDS", "ENV_VAR", "MapExecutor", "resolve_executor"]
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "MapExecutor",
+    "resolve_executor",
+    "serial_nested",
+]
 
 ENV_VAR = "REPRO_PARALLELISM"
 BACKENDS = ("serial", "thread", "process", "fused")
@@ -49,10 +64,35 @@ _SPEC_FORMS = "'backend' or 'backend:workers' (e.g. 'thread:4')"
 T = TypeVar("T")
 R = TypeVar("R")
 
+_NESTED = threading.local()
+
+
+@contextmanager
+def serial_nested():
+    """Force every :func:`resolve_executor` call on this thread to serial.
+
+    Thread-local (and therefore process-local in fork workers), so wrapping
+    a worker's body suppresses nested pool creation without touching other
+    threads or the environment.  Re-entrant: the outermost exit restores
+    normal resolution.
+    """
+    previous = getattr(_NESTED, "force_serial", False)
+    _NESTED.force_serial = True
+    try:
+        yield
+    finally:
+        _NESTED.force_serial = previous
+
 
 def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
     """Module-level chunk worker so the process backend can pickle it."""
     return [fn(item) for item in chunk]
+
+
+def _call_task(task: "tuple[Callable[..., R], tuple]") -> R:
+    """Module-level task trampoline for :meth:`MapExecutor.submit_many`."""
+    fn, args = task
+    return fn(*args)
 
 
 def _traced_thread_chunk(
@@ -179,6 +219,19 @@ class MapExecutor:
                 )
         return [result for chunk in chunk_results for result in chunk]
 
+    def submit_many(
+        self, tasks: Iterable[tuple[Callable[..., R], tuple]]
+    ) -> list[R]:
+        """Run heterogeneous ``(fn, args)`` tasks; results in input order.
+
+        The per-task functions may all differ (unlike :meth:`map`), which is
+        what a grid of unlike measurement cells needs.  Backend semantics
+        are identical to :meth:`map`: order-stable results, exceptions
+        propagate, and the process backend requires every ``fn`` and its
+        ``args`` to pickle.
+        """
+        return self.map(_call_task, [(fn, tuple(args)) for fn, args in tasks])
+
     def _map_traced(self, fn: Callable[[T], R], jobs: list[T]) -> list[R]:
         """The :meth:`map` dispatch wrapped in ``perf.map`` / ``perf.chunk``
         spans.  Thread chunks parent directly under the map span via the
@@ -259,7 +312,13 @@ def resolve_executor(
     ``ELSIConfig.parallelism`` and the env override interact: the config
     value is passed as ``executor`` and loses to the env variable, so a
     deployment can force a backend without touching code.
+
+    Inside a :func:`serial_nested` section (a pool worker that itself
+    dispatches build work) every resolution — env override included —
+    yields the serial backend, preventing nested pools.
     """
+    if getattr(_NESTED, "force_serial", False):
+        return MapExecutor(backend="serial")
     spec = os.environ.get(ENV_VAR)
     if spec:
         try:

@@ -162,6 +162,71 @@ class TestBatchKNN:
             np.testing.assert_array_equal(got, index.knn_query(q, 4))
 
 
+class TestMLBatchKNN:
+    """ML-Index's batched iDistance kNN must agree with the scalar radius
+    loop exactly — candidate order, ties, and edge cases included."""
+
+    @pytest.mark.parametrize("k", [1, 7, 23])
+    def test_matches_scalar(self, indices, osm_points, k):
+        index = indices["ML"]
+        rng = np.random.default_rng(5)
+        queries = np.vstack(
+            [osm_points[::80], rng.random((30, 2)), rng.random((10, 2)) + 1.5]
+        )
+        batch = index.knn_queries(queries, k)
+        assert len(batch) == len(queries)
+        for q, got in zip(queries, batch):
+            np.testing.assert_array_equal(got, index.knn_query(q, k))
+
+    def test_ties_resolve_identically(self, osm_points):
+        # Duplicated points force exact distance ties; stable ordering must
+        # make both paths pick the same representatives.
+        config = ELSIConfig(train_epochs=80)
+        dup = np.vstack([osm_points[:400], osm_points[:400]])
+        index = MLIndex(builder=ELSIModelBuilder(config, method="SP")).build(dup)
+        queries = osm_points[:25]
+        for q, got in zip(queries, index.knn_queries(queries, 6)):
+            np.testing.assert_array_equal(got, index.knn_query(q, 6))
+
+    def test_k_exceeds_n(self, osm_points):
+        config = ELSIConfig(train_epochs=60)
+        index = MLIndex(
+            builder=ELSIModelBuilder(config, method="SP"), n_references=2
+        ).build(osm_points[:6])
+        queries = osm_points[:4]
+        for q, got in zip(queries, index.knn_queries(queries, 10)):
+            np.testing.assert_array_equal(got, index.knn_query(q, 10))
+            # At radii past the data diameter the annulus intervals overlap
+            # partitions, so the (scalar and batch) candidate list can carry
+            # duplicates — but it must cover the whole dataset.
+            assert len(np.unique(got, axis=0)) == 6
+
+    def test_empty_batch(self, indices):
+        assert indices["ML"].knn_queries(np.empty((0, 2)), 3) == []
+
+    def test_invalid_k_rejected(self, indices, osm_points):
+        with pytest.raises(ValueError, match="k must be"):
+            indices["ML"].knn_queries(osm_points[:2], 0)
+
+    def test_query_stats_match_scalar(self, osm_points):
+        config = ELSIConfig(train_epochs=80)
+        queries = osm_points[::150]
+        scalar = MLIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points
+        )
+        batch = MLIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+            osm_points
+        )
+        for q in queries:
+            scalar.knn_query(q, 5)
+        batch.knn_queries(queries, 5)
+        assert batch.query_stats.queries == scalar.query_stats.queries
+        assert batch.query_stats.model_invocations == (
+            scalar.query_stats.model_invocations
+        )
+        assert batch.query_stats.points_scanned == scalar.query_stats.points_scanned
+
+
 # ----------------------------------------------------------------------
 # Batch window queries
 # ----------------------------------------------------------------------

@@ -8,13 +8,27 @@ from repro.core.config import ELSIConfig
 from repro.indices import ZMIndex
 from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig, train_regressor
-from repro.perf.executor import ENV_VAR, MapExecutor, resolve_executor
+from repro.perf.executor import (
+    ENV_VAR,
+    MapExecutor,
+    resolve_executor,
+    serial_nested,
+)
 from repro.perf.fused import can_fuse, train_regressors_fused
 
 
 def _square(x):
     """Module-level so the process backend can pickle it."""
     return x * x
+
+
+def _cube(x):
+    return x * x * x
+
+
+def _resolved_backend(spec):
+    """Worker helper: what resolve_executor yields inside this task."""
+    return resolve_executor(spec).backend
 
 
 # ----------------------------------------------------------------------
@@ -61,6 +75,62 @@ def test_from_spec_parses_workers():
     assert MapExecutor.from_spec("serial").max_workers is None
     with pytest.raises(ValueError, match="integer"):
         MapExecutor.from_spec("thread:many")
+
+
+# ----------------------------------------------------------------------
+# submit_many: heterogeneous tasks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["serial", "thread", "process", "fused"])
+def test_submit_many_mixed_functions_in_order(backend):
+    ex = MapExecutor(backend=backend, max_workers=2)
+    tasks = [(_square, (i,)) if i % 2 else (_cube, (i,)) for i in range(11)]
+    expected = [i * i if i % 2 else i * i * i for i in range(11)]
+    assert ex.submit_many(tasks) == expected
+
+
+def test_submit_many_empty():
+    assert MapExecutor(backend="thread").submit_many([]) == []
+
+
+def test_submit_many_propagates_exceptions():
+    def boom(x):
+        raise RuntimeError(f"task {x}")
+
+    with pytest.raises(RuntimeError, match="task 1"):
+        MapExecutor(backend="serial").submit_many([(boom, (1,))])
+
+
+# ----------------------------------------------------------------------
+# serial_nested: no pools inside pool workers
+# ----------------------------------------------------------------------
+def test_serial_nested_forces_serial_resolution(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "process:4")
+    with serial_nested():
+        assert resolve_executor(None).backend == "serial"
+        assert resolve_executor("thread:2").backend == "serial"
+        # Re-entrant.
+        with serial_nested():
+            assert resolve_executor(MapExecutor(backend="fused")).backend == "serial"
+        assert resolve_executor(None).backend == "serial"
+    assert resolve_executor(None).backend == "process"
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_serial_nested_inside_workers(backend, monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    ex = MapExecutor(backend=backend, max_workers=2)
+
+    def guarded(spec):
+        with serial_nested():
+            return _resolved_backend(spec)
+
+    # Without the guard workers resolve normally; with it, always serial.
+    assert ex.map(_resolved_backend, ["thread:2", "process:2"]) == [
+        "thread",
+        "process",
+    ]
+    if backend == "thread":  # closures don't pickle for the process backend
+        assert ex.map(guarded, ["thread:2", "process:2"]) == ["serial", "serial"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,164 @@
+"""Tests for RSMI's level-wise build strategy and its obs instrumentation.
+
+The level-wise frontier build dispatches every level's sibling model fits
+as one ``build_models`` batch; the resulting tree must be identical to the
+depth-first recursive reference — structure, models, and error bounds —
+for every executor backend that guarantees bit-identical fits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices.rsmi import RSMIIndex
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture
+def tracer():
+    t = get_tracer()
+    t.enable()
+    t.reset()
+    yield t
+    t.disable()
+    t.reset()
+
+
+def _build(points, strategy, backend="serial", leaf_capacity=300):
+    config = ELSIConfig(
+        train_epochs=60, parallelism=backend, parallel_workers=2
+    )
+    return RSMIIndex(
+        builder=ELSIModelBuilder(config, method="SP"),
+        leaf_capacity=leaf_capacity,
+        build_strategy=strategy,
+    ).build(points)
+
+
+def _signature(node, out):
+    """Flatten a tree into comparable per-node tuples (pre-order)."""
+    out.append(
+        (
+            node.depth,
+            node.n,
+            node.is_leaf,
+            node.model.err_l,
+            node.model.err_u,
+            tuple(node.bounds.lo_array),
+            tuple(node.bounds.hi_array),
+        )
+    )
+    if node.is_leaf:
+        out.append(tuple(node.store.keys[:: max(1, len(node.store) // 7)]))
+    else:
+        for child in node.children:
+            if child is None:
+                out.append(None)
+            else:
+                _signature(child, out)
+
+
+def _weights_equal(a, b):
+    stack = [(a.root, b.root)]
+    while stack:
+        na, nb = stack.pop()
+        for wa, wb in zip(na.model.net.weights, nb.model.net.weights):
+            np.testing.assert_array_equal(wa, wb)
+        if not na.is_leaf:
+            for ca, cb in zip(na.children, nb.children):
+                assert (ca is None) == (cb is None)
+                if ca is not None:
+                    stack.append((ca, cb))
+
+
+class TestLevelwiseParity:
+    def test_level_matches_recursive(self, osm_points, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        recursive = _build(osm_points, "recursive")
+        level = _build(osm_points, "level")
+        sig_r, sig_l = [], []
+        _signature(recursive.root, sig_r)
+        _signature(level.root, sig_l)
+        assert sig_r == sig_l
+        _weights_equal(recursive, level)
+        # The hierarchy is non-trivial at this leaf capacity.
+        assert level.n_models() > 1
+        assert level.depth() >= 1
+
+    @pytest.mark.parametrize("backend", ["thread", "fused"])
+    def test_backends_produce_same_tree(self, osm_points, backend, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        serial = _build(osm_points, "level")
+        other = _build(osm_points, "level", backend=backend)
+        sig_s, sig_o = [], []
+        _signature(serial.root, sig_s)
+        _signature(other.root, sig_o)
+        if backend == "thread":
+            # Thread dispatch is bit-identical to serial.
+            assert sig_s == sig_o
+            _weights_equal(serial, other)
+        # Fused training differs at the ulp level, but every strategy must
+        # keep predict-and-scan exact for indexed points.
+        assert all(other.point_query(p) for p in osm_points[:150])
+
+    def test_queries_agree_across_strategies(self, osm_points, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLELISM", raising=False)
+        from repro.spatial.rect import Rect
+
+        recursive = _build(osm_points, "recursive")
+        level = _build(osm_points, "level")
+        assert all(level.point_query(p) for p in osm_points[:150])
+        window = Rect(np.array([0.2, 0.2]), np.array([0.5, 0.5]))
+        np.testing.assert_array_equal(
+            recursive.window_query(window), level.window_query(window)
+        )
+
+    def test_overflow_rebuild_uses_configured_strategy(self, osm_points):
+        index = _build(osm_points[:500], "level", leaf_capacity=40)
+        rng = np.random.default_rng(2)
+        extra = osm_points[500:900] + rng.normal(0.0, 1e-4, (400, 2))
+        for p in extra:
+            index.insert(p)
+        assert all(index.point_query(p) for p in extra[::25])
+        assert index.n_points == 900
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError, match="build_strategy"):
+            RSMIIndex(build_strategy="bfs")
+
+
+class TestRSMISpans:
+    def test_build_emits_level_spans(self, osm_points, tracer):
+        _build(osm_points, "level")
+        build_spans = tracer.find("rsmi.build")
+        assert len(build_spans) == 1
+        assert build_spans[0].attrs["strategy"] == "level"
+        assert build_spans[0].attrs["models"] >= 1
+        levels = tracer.find("rsmi.fit_level")
+        assert levels, "level-wise build must emit per-level spans"
+        assert levels[0].attrs["level"] == 0
+        assert levels[0].attrs["nodes"] == 1
+        # Each level dispatches its fits through the executor.
+        assert tracer.find("perf.map")
+
+    def test_recursive_build_span(self, osm_points, tracer):
+        _build(osm_points, "recursive")
+        spans = tracer.find("rsmi.build")
+        assert len(spans) == 1
+        assert spans[0].attrs["strategy"] == "recursive"
+        assert not tracer.find("rsmi.fit_level")
+
+    def test_query_spans(self, osm_points, tracer):
+        from repro.spatial.rect import Rect
+
+        index = _build(osm_points, "level")
+        tracer.reset()
+        index.point_query(osm_points[0])
+        index.window_query(Rect(np.array([0.2, 0.2]), np.array([0.4, 0.4])))
+        point_spans = tracer.find("rsmi.point")
+        assert len(point_spans) == 1
+        assert point_spans[0].attrs["hops"] >= 1
+        window_spans = tracer.find("rsmi.window")
+        assert len(window_spans) == 1
+        assert "matched" in window_spans[0].attrs
