@@ -1,8 +1,11 @@
 """Core perf microbenchmark: parallel build backends + batch-query engine.
 
-Measures (1) multi-model index build time under every executor backend and
-(2) batch point-query throughput against the per-query loop, then writes a
-machine-readable ``BENCH_core.json`` — the repo's perf trajectory seed.
+Measures (1) multi-model index build time under every executor backend,
+(2) batch point-query throughput against the per-query loop, and (3) fused
+batch inference (one grouped einsum across all leaf models) against the
+per-model prediction loop — in float64 and the opt-in float32 mode — then
+writes a machine-readable ``BENCH_core.json`` — the repo's perf trajectory
+seed.
 
 Run from the repo root (scale via ``REPRO_SCALE=smoke|default|large``):
 
@@ -10,9 +13,12 @@ Run from the repo root (scale via ``REPRO_SCALE=smoke|default|large``):
 
 Each result record carries ``op``, ``n``, ``backend``, ``seconds`` and
 ``speedup`` (vs the serial backend for builds, vs the scalar loop for
-queries).  Thread/process speedups reflect the host's core count — on a
-single-core CI runner they hover near 1.0x and the ``fused`` backend
-(vectorised multi-model training) carries the build win.
+queries, vs the per-model loop for fused inference).  Thread/process
+speedups reflect the host's core count — on a single-core CI runner they
+hover near 1.0x and the ``fused`` backend (vectorised multi-model
+training) carries the build win.  The fused-inference section runs at
+n=1e6 (except at smoke scale) and *asserts* that fusion is not slower
+than the per-model loop.
 """
 
 from __future__ import annotations
@@ -139,6 +145,104 @@ def bench_queries(points: np.ndarray, scale: ExperimentScale) -> list[dict]:
     return records
 
 
+#: Query batch size for the fused-inference benchmark (a serving-sized
+#: micro-batch touching every stage-2 leaf).
+FUSED_BATCH = 4096
+#: Data size for the fused-inference benchmark at non-smoke scales (the
+#: acceptance workload: 1e6 points).
+FUSED_N = 1_000_000
+#: Stage-2 fan-out for the fused-inference benchmark.  At 1e6 points a
+#: branching-16 RMI leaves ~62k keys per leaf — far coarser than the
+#: paper's per-leaf sizes — so the fused section uses a realistic wide
+#: fan-out (~8k keys per leaf), which is also where the per-model
+#: dispatch overhead that fusion removes actually bites.
+FUSED_BRANCHING = 128
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_fused_inference(scale: ExperimentScale) -> list[dict]:
+    """Fused engine vs per-model batch prediction, float64 and float32."""
+    from repro.data import load_dataset
+
+    n = scale.n if scale.name == "smoke" else FUSED_N
+    points = load_dataset("OSM1", n)
+    rng = np.random.default_rng(11)
+    config = ELSIConfig(train_epochs=scale.train_epochs)
+    index = ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=FUSED_BRANCHING
+    ).build(points)
+    model = index.model
+    if model._engine is None:
+        raise AssertionError("fused inference engine was not built")
+    keys = index.map(points[rng.integers(0, len(points), size=FUSED_BATCH)])
+
+    fused_seconds = _best_of(lambda: model.search_ranges(keys))
+    engine = model._engine
+    model._engine = None
+    try:
+        per_model_seconds = _best_of(lambda: model.search_ranges(keys))
+        # Parity: both paths must answer real point queries identically.
+        probe = points[rng.integers(0, len(points), size=512)]
+        plain = index.point_queries(probe)
+    finally:
+        model._engine = engine
+    if not np.array_equal(index.point_queries(probe), plain):
+        raise AssertionError("fused point queries diverge from per-model")
+    if fused_seconds > per_model_seconds:
+        raise AssertionError(
+            f"fused inference slower than per-model: "
+            f"{fused_seconds:.4f}s vs {per_model_seconds:.4f}s"
+        )
+    records = [
+        {
+            "op": "fused_infer[ZM]",
+            "n": n,
+            "backend": "per_model",
+            "seconds": per_model_seconds,
+            "speedup": 1.0,
+        },
+        {
+            "op": "fused_infer[ZM]",
+            "n": n,
+            "backend": "fused",
+            "seconds": fused_seconds,
+            "speedup": per_model_seconds / fused_seconds,
+            "model_bytes": engine.nbytes,
+        },
+    ]
+
+    # Opt-in float32: same answers, half the stacked-parameter memory.
+    config32 = ELSIConfig(train_epochs=scale.train_epochs, dtype="float32")
+    index32 = ZMIndex(
+        builder=ELSIModelBuilder(config32, method="SP"), branching=FUSED_BRANCHING
+    ).build(points)
+    if index32.model._engine is None:
+        raise AssertionError("float32 fused inference engine was not built")
+    if not np.array_equal(index32.point_queries(probe), plain):
+        raise AssertionError("float32 point queries diverge from float64")
+    f32_seconds = _best_of(lambda: index32.model.search_ranges(keys))
+    records.append(
+        {
+            "op": "fused_infer[ZM]",
+            "n": n,
+            "backend": "fused_f32",
+            "seconds": f32_seconds,
+            "speedup": per_model_seconds / f32_seconds,
+            "model_bytes": index32.model._engine.nbytes,
+            "parity_with_f64": True,
+        }
+    )
+    return records
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -152,7 +256,11 @@ def main() -> None:
     points = load_dataset("OSM1", scale.n)
     print(f"scale={scale.name} n={scale.n} cpus={os.cpu_count()}")
 
-    results = bench_build(points, scale) + bench_queries(points, scale)
+    results = (
+        bench_build(points, scale)
+        + bench_queries(points, scale)
+        + bench_fused_inference(scale)
+    )
     for r in results:
         seconds = "failed" if r["seconds"] is None else f"{r['seconds']:.3f}s"
         speedup = "-" if r["speedup"] is None else f"{r['speedup']:.2f}x"

@@ -17,6 +17,10 @@ Commands
 ``obs report``
     Render a ``REPRO_TRACE`` JSON-lines trace: per-phase cost breakdown
     plus the nested span tree (see docs/observability.md).
+``obs flame``
+    Turn a ``REPRO_TRACE`` trace into a flame graph: an SVG icicle (the
+    default), the folded-stack text format (``--folded``), and a
+    heaviest-paths terminal summary (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -254,6 +258,37 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from repro.obs.flame import folded_stacks, render_folded, render_svg, top_paths
+    from repro.obs.report import load_trace
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not records:
+        print("trace contains no spans", file=sys.stderr)
+        return 1
+    stacks = folded_stacks(records)
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            fh.write(render_folded(stacks) + "\n")
+        print(f"wrote folded stacks for {len(records)} spans to {args.folded}")
+    with open(args.output, "w") as fh:
+        fh.write(render_svg(stacks, width=args.width))
+    print(f"wrote flame graph for {len(records)} spans to {args.output}")
+    total = sum(stacks.values())
+    print(f"\ntop {args.top} paths by self time ({total * 1e3:.1f} ms traced):")
+    for path, seconds in top_paths(stacks, args.top):
+        share = seconds / total * 100.0 if total > 0 else 0.0
+        print(f"  {seconds * 1e3:9.2f} ms  {share:5.1f}%  {path}")
+    return 0
+
+
 def _cmd_experiments(_args: argparse.Namespace) -> int:
     rows = [
         ["Fig. 6", "selector accuracy vs lambda", "benchmarks/bench_fig06_selector.py"],
@@ -346,6 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated span names that must be present "
                         "(exit 1 otherwise; the CI smoke assertion)")
     p.set_defaults(func=_cmd_obs_report)
+    p = obs_sub.add_parser("flame", help="render a trace as a flame graph")
+    p.add_argument("trace", help="path to the JSON-lines trace file")
+    p.add_argument("--output", default="flame.svg",
+                   help="SVG output path (default flame.svg)")
+    p.add_argument("--folded", default=None,
+                   help="also write folded stacks (flamegraph.pl/speedscope "
+                        "input) to this path")
+    p.add_argument("--width", type=int, default=1200,
+                   help="SVG width in pixels")
+    p.add_argument("--top", type=int, default=10,
+                   help="heaviest paths to print to the terminal")
+    p.set_defaults(func=_cmd_obs_flame)
 
     p = sub.add_parser("experiments", help="list the paper's experiments")
     p.set_defaults(func=_cmd_experiments)

@@ -38,6 +38,7 @@ from repro.indices.base import (
 from repro.ml.trainer import TrainConfig
 from repro.obs.trace import span as _span
 from repro.perf.executor import MapExecutor, resolve_executor
+from repro.perf.fused_infer import resolve_dtype
 from repro.spatial.cdf import uniform_dissimilarity
 
 __all__ = ["ELSIModelBuilder"]
@@ -77,6 +78,10 @@ class ELSIModelBuilder(ModelBuilder):
             backend=self.config.parallelism,
             max_workers=self.config.parallel_workers,
         )
+        #: Inference precision for the models this builder produces;
+        #: ``ELSIConfig.dtype`` seeds it, ``REPRO_DTYPE`` overrides it.
+        #: Indices read it when fusing leaf models after the build.
+        self.dtype = resolve_dtype(self.config.dtype)
         self._rng = np.random.default_rng(self.config.seed)
         self.pool: list[BuildMethod] = make_method_pool(self.config)
         self._by_name = {m.name: m for m in self.pool}

@@ -58,6 +58,14 @@ class ELSIConfig:
         environment variable overrides this (e.g. ``thread:4``).
     parallel_workers:
         Pool size for the thread/process backends (default: CPU count).
+    dtype:
+        Inference precision for index models: ``float64`` (the reference)
+        or ``float32`` (opt-in).  Training always runs in float64; with
+        ``float32`` the trained networks are cast down, error bounds are
+        re-measured under the reduced precision, and the fused inference
+        stacks (:mod:`repro.perf.fused_infer`) hold single-precision
+        parameters — half the model memory.  The ``REPRO_DTYPE``
+        environment variable overrides this at builder construction.
     methods:
         Method pool names to consider, in canonical order.
     """
@@ -78,6 +86,7 @@ class ELSIConfig:
     hidden_size: int = 16
     parallelism: str = "serial"
     parallel_workers: int | None = None
+    dtype: str = "float64"
     seed: int = 0
     methods: tuple[str, ...] = field(
         default=("SP", "CL", "MR", "RS", "RL", "OG")
@@ -107,4 +116,10 @@ class ELSIConfig:
         if self.parallel_workers is not None and self.parallel_workers < 1:
             raise ValueError(
                 f"parallel_workers must be >= 1, got {self.parallel_workers}"
+            )
+        from repro.perf.fused_infer import FUSION_DTYPES
+
+        if self.dtype not in FUSION_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {sorted(FUSION_DTYPES)}, got {self.dtype!r}"
             )

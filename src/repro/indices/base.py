@@ -726,10 +726,12 @@ class LearnedSpatialIndex(ABC):
         results: list[np.ndarray | None] = [None] * b
         active = np.arange(b)
         while len(active):
-            cand = [
-                self.window_query(Rect.centered(pts[qi], float(side[qi])))
-                for qi in active
-            ]
+            # One batched window call per expansion round: indices with a
+            # fused window path (and a fused inference engine underneath)
+            # answer every active query's candidate window in one pass.
+            cand = self.window_queries(
+                [Rect.centered(pts[qi], float(side[qi])) for qi in active]
+            )
             counts = np.array([len(c) for c in cand], dtype=np.int64)
             offsets = np.concatenate(([0], np.cumsum(counts)))
             if counts.sum():

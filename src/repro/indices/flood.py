@@ -28,9 +28,11 @@ import numpy as np
 
 from repro.indices.base import LearnedSpatialIndex, ModelBuilder, TrainedModel
 from repro.indices.zm import locate_rank
+from repro.ml.ffn import FFN
 from repro.obs.query_obs import record_range_widths
 from repro.obs.trace import span as _span
 from repro.perf.batching import batch_point_membership
+from repro.perf.fused_infer import FusedInferenceEngine
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
 
@@ -61,6 +63,10 @@ class FloodIndex(LearnedSpatialIndex):
         self._column_edges: np.ndarray | None = None
         self._stores: list[BlockStore | None] = []
         self._models: list[TrainedModel | None] = []
+        #: Fused batch-prediction engine over the column models (None when
+        #: fusion was rejected, e.g. a single populated column).
+        self._engine: FusedInferenceEngine | None = None
+        self._col_to_midx: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Query-aware tuning (Flood's contribution)
@@ -171,7 +177,47 @@ class FloodIndex(LearnedSpatialIndex):
         self._models = [
             None if store is None else next(models) for store in self._stores
         ]
+        if getattr(self.builder, "dtype", "float64") == "float32":
+            # Column routing is a searchsorted over float64 edges, so the
+            # precision drop only touches the y-CDF models; re-measuring
+            # their bounds keeps predict-and-scan exact under float32.
+            for store, model in zip(self._stores, self._models):
+                if model is not None and isinstance(model.net, FFN):
+                    model.net.astype(np.float32)
+                    assert store is not None
+                    model.measure_error_bounds(store.keys)
+        self._fuse_columns()
         return self
+
+    def _fuse_columns(self) -> "FusedInferenceEngine | None":
+        """Stack the column models into one fused batch-prediction engine.
+
+        Called at the end of :meth:`build` and again by the persistence
+        loader (the engine is derived state, never saved).  Batch queries
+        touching many columns then cost one grouped einsum per layer
+        instead of one FFN forward pass per visited column.
+        """
+        self._engine = None
+        self._col_to_midx = None
+        members: list[TrainedModel] = []
+        member_keys: list[np.ndarray] = []
+        col_to_midx = np.full(self.n_columns, -1, dtype=np.int64)
+        for c, (store, model) in enumerate(zip(self._stores, self._models)):
+            if store is None or model is None:
+                continue
+            col_to_midx[c] = len(members)
+            members.append(model)
+            member_keys.append(store.keys)
+        engine = FusedInferenceEngine.try_build(
+            members,
+            member_keys=member_keys,
+            dtype=getattr(self.builder, "dtype", "float64"),
+            context="flood",
+        )
+        if engine is not None:
+            self._engine = engine
+            self._col_to_midx = col_to_midx
+        return engine
 
     # ------------------------------------------------------------------
     # Queries
@@ -202,6 +248,22 @@ class FloodIndex(LearnedSpatialIndex):
         self.query_stats.queries += len(pts)
         with _span("query.point_batch", index=self.name, queries=len(pts)):
             columns = self._column_of(pts[:, 0])
+            all_lo = all_hi = None
+            if self._engine is not None and self._col_to_midx is not None:
+                # One grouped forward pass for every visited column at once;
+                # rows landing in an empty column keep midx == -1 and are
+                # answered False without touching the engine.
+                midx = self._col_to_midx[columns]
+                valid = midx >= 0
+                all_lo = np.zeros(len(pts), dtype=np.int64)
+                all_hi = np.zeros(len(pts), dtype=np.int64)
+                if valid.any():
+                    with _span(
+                        "query.model_predict", index=self.name, queries=int(valid.sum())
+                    ):
+                        all_lo[valid], all_hi[valid] = self._engine.search_ranges(
+                            midx[valid], pts[valid, 1]
+                        )
             for c in np.unique(columns):
                 store = self._stores[c]
                 model = self._models[c]
@@ -210,10 +272,14 @@ class FloodIndex(LearnedSpatialIndex):
                     continue
                 member_pts = pts[mask]
                 keys = member_pts[:, 1]
-                with _span(
-                    "query.model_predict", index=self.name, queries=int(mask.sum())
-                ):
-                    lo, hi = model.search_ranges(keys)
+                if all_lo is not None and all_hi is not None:
+                    lo, hi = all_lo[mask], all_hi[mask]
+                    model.invocations += int(mask.sum())
+                else:
+                    with _span(
+                        "query.model_predict", index=self.name, queries=int(mask.sum())
+                    ):
+                        lo, hi = model.search_ranges(keys)
                 record_range_widths(self.name, lo, hi)
                 self.query_stats.model_invocations += int(mask.sum())
                 self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
@@ -244,6 +310,68 @@ class FloodIndex(LearnedSpatialIndex):
         if not results:
             return np.empty((0, window.ndim))
         return np.vstack(results)
+
+    def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
+        """Batch window queries over flattened (window, column) pairs.
+
+        Every window expands to its visited-column pairs; with the fused
+        engine, the boundary predictions for *all* pairs run in two grouped
+        forward passes (one per window edge) instead of two per pair.  Scan
+        boundaries stay gallop-refined per pair, so results match the
+        scalar :meth:`window_query` exactly.
+        """
+        self._check_built()
+        if not windows:
+            return []
+        self.query_stats.queries += len(windows)
+        results: list[list[np.ndarray]] = [[] for _ in windows]
+        with _span("query.window_batch", index=self.name, windows=len(windows)):
+            pair_win: list[int] = []
+            pair_col: list[int] = []
+            for wi, window in enumerate(windows):
+                first = int(self._column_of(np.array([window.lo[0]]))[0])
+                last = int(self._column_of(np.array([window.hi[0]]))[0])
+                for c in range(first, last + 1):
+                    if self._stores[c] is not None and self._models[c] is not None:
+                        pair_win.append(wi)
+                        pair_col.append(c)
+            if not pair_win:
+                return [np.empty((0, w.ndim)) for w in windows]
+            wins = np.array(pair_win, dtype=np.int64)
+            cols = np.array(pair_col, dtype=np.int64)
+            y_lo = np.array([windows[w].lo[1] for w in wins])
+            y_hi = np.array([windows[w].hi[1] for w in wins])
+            if self._engine is not None and self._col_to_midx is not None:
+                midx = self._col_to_midx[cols]
+                with _span(
+                    "query.model_predict", index=self.name, queries=2 * len(wins)
+                ):
+                    lo_l, lo_h = self._engine.search_ranges(midx, y_lo)
+                    hi_l, hi_h = self._engine.search_ranges(midx, y_hi)
+                hints_lo = list(zip(lo_l.tolist(), lo_h.tolist()))
+                hints_hi = list(zip(hi_l.tolist(), hi_h.tolist()))
+                for c in np.unique(cols):
+                    self._models[c].invocations += 2 * int((cols == c).sum())
+            else:
+                hints_lo = [self._models[c].search_range(v) for c, v in zip(cols, y_lo)]
+                hints_hi = [self._models[c].search_range(v) for c, v in zip(cols, y_hi)]
+            for i in range(len(wins)):
+                window = windows[wins[i]]
+                store = self._stores[cols[i]]
+                assert store is not None
+                lo = locate_rank(store.keys, y_lo[i], hints_lo[i], "left")
+                hi = locate_rank(store.keys, y_hi[i], hints_hi[i], "right")
+                pts, _keys, _ids = store.scan(lo, hi)
+                self.query_stats.model_invocations += 2
+                self.query_stats.points_scanned += len(pts)
+                if len(pts):
+                    inside = pts[window.contains_points(pts)]
+                    if len(inside):
+                        results[wins[i]].append(inside)
+        return [
+            np.vstack(chunks) if chunks else np.empty((0, windows[wi].ndim))
+            for wi, chunks in enumerate(results)
+        ]
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)

@@ -10,6 +10,23 @@ that indexed them.
 Every member model is trained through a
 :class:`~repro.indices.base.ModelBuilder`, which is how ELSI accelerates
 multi-model indices one model at a time (Figure 3).
+
+Batch prediction is fused: after the fit, the structurally identical
+stage-2 leaves are stacked into one
+:class:`~repro.perf.fused_infer.FusedInferenceEngine`, so a
+:meth:`~RMIModel.search_ranges` batch touching many leaves costs one
+grouped einsum per layer instead of one FFN call per visited leaf.  The
+engine re-measures its own error bounds over every member's partition, so
+predict-and-scan correctness holds on the fused path exactly as on the
+per-model one; when the leaves cannot be fused (single model, mixed
+architectures, PLA nets) the per-model loop keeps running and the reason
+lands in the ``perf.fusion_rejected`` counter.
+
+The builder's ``dtype`` (``ELSIConfig.dtype`` / ``REPRO_DTYPE``) selects
+the inference precision: with ``float32``, stage-1 is cast *before*
+routing — so build-time and query-time routing stay the identical
+computation — every member's bounds are re-measured under the reduced
+precision, and the fused stacks are single precision.
 """
 
 from __future__ import annotations
@@ -17,6 +34,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.indices.base import BuildStats, MapFn, ModelBuilder, TrainedModel
+from repro.ml.ffn import FFN
+from repro.perf.fused_infer import FusedInferenceEngine, record_fusion_rejected
 
 __all__ = ["RMIModel"]
 
@@ -27,7 +46,8 @@ class RMIModel:
     Parameters
     ----------
     builder:
-        Trains each member model (ELSI's hook).
+        Trains each member model (ELSI's hook).  Its optional ``dtype``
+        attribute selects the inference precision (default float64).
     branching:
         Number of stage-2 models; ``1`` collapses to a single model.
     min_partition_size:
@@ -50,6 +70,30 @@ class RMIModel:
         self.stage2: list[TrainedModel] = []
         self._stage2_positions: list[np.ndarray] = []
         self.n = 0
+        #: Fused batch-prediction engine over the stage-2 leaves (None
+        #: when fusion was rejected or the model is single-stage).
+        self._engine: FusedInferenceEngine | None = None
+        self._branch_to_midx: np.ndarray | None = None
+        self._fused_positions: np.ndarray | None = None
+        self._fused_offsets: np.ndarray | None = None
+        self._fused_members: list[TrainedModel] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> str:
+        """Inference precision, from the builder (default float64)."""
+        return getattr(self.builder, "dtype", "float64")
+
+    def _cast_model(self, model: TrainedModel, member_keys: np.ndarray) -> None:
+        """Apply the reduced-precision mode to one member model.
+
+        Casts the network parameters down and re-measures the error bounds
+        over the member's full partition, so the per-model prediction path
+        keeps its predict-and-scan guarantee under the new arithmetic.
+        """
+        if isinstance(model.net, FFN):
+            model.net.astype(np.float32)
+            model.measure_error_bounds(member_keys)
 
     # ------------------------------------------------------------------
     def fit(
@@ -63,10 +107,18 @@ class RMIModel:
         self.n = len(sorted_keys)
         if self.n == 0:
             raise ValueError("cannot fit an RMI on an empty key set")
+        reduced = self.dtype == "float32"
         self.stage1 = self.builder.build_model(sorted_keys, sorted_points, stats, map_fn)
+        if reduced:
+            # Cast *before* routing: stage-1 predictions partition the data,
+            # and query-time routing must repeat the build-time computation
+            # exactly, so the precision drop has to land first.
+            self._cast_model(self.stage1, sorted_keys)
         self.stage2 = []
         self._stage2_positions = []
+        self._engine = None
         if self.branching == 1 or self.n < self.min_partition_size:
+            record_fusion_rejected("single_model", context="rmi")
             return self
 
         # Stage-2 leaves are independent per-partition jobs: prepare every
@@ -86,7 +138,56 @@ class RMIModel:
             # An empty branch reuses stage 1 (routing sends no key there).
             self.stage2.append(self.stage1 if len(positions) == 0 else next(models))
             self._stage2_positions.append(positions)
+        if reduced:
+            for model, positions in zip(self.stage2, self._stage2_positions):
+                if model is not self.stage1 and len(positions):
+                    self._cast_model(model, sorted_keys[positions])
+        self.fuse_inference(sorted_keys)
         return self
+
+    def fuse_inference(self, sorted_keys: np.ndarray) -> "FusedInferenceEngine | None":
+        """Stack the stage-2 leaves into a fused batch-prediction engine.
+
+        Called at the end of :meth:`fit` and again by the persistence
+        loaders (the engine itself is derived state and is not saved).
+        Returns the engine, or ``None`` with the rejection reason counted
+        when the leaves cannot share one compute path.
+        """
+        self._engine = None
+        self._branch_to_midx = None
+        self._fused_positions = None
+        self._fused_offsets = None
+        self._fused_members = []
+        if not self.is_two_stage:
+            return None
+        assert self.stage1 is not None
+        members: list[TrainedModel] = []
+        member_positions: list[np.ndarray] = []
+        branch_to_midx = np.full(self.branching, -1, dtype=np.int64)
+        for branch, (model, positions) in enumerate(
+            zip(self.stage2, self._stage2_positions)
+        ):
+            if model is self.stage1 or len(positions) == 0:
+                continue  # empty branch: the stage-1 fallback answers it
+            branch_to_midx[branch] = len(members)
+            members.append(model)
+            member_positions.append(np.asarray(positions, dtype=np.int64))
+        sorted_keys = np.asarray(sorted_keys, dtype=np.float64)
+        engine = FusedInferenceEngine.try_build(
+            members,
+            member_keys=[sorted_keys[p] for p in member_positions],
+            dtype=self.dtype,
+            context="rmi",
+        )
+        if engine is None:
+            return None
+        self._engine = engine
+        self._branch_to_midx = branch_to_midx
+        self._fused_positions = np.concatenate(member_positions)
+        lengths = np.array([len(p) for p in member_positions], dtype=np.int64)
+        self._fused_offsets = np.concatenate(([0], np.cumsum(lengths)))[:-1]
+        self._fused_members = members
+        return engine
 
     def _route(self, keys: np.ndarray) -> np.ndarray:
         """Stage-2 branch per key, from the stage-1 position prediction."""
@@ -99,6 +200,11 @@ class RMIModel:
     @property
     def is_two_stage(self) -> bool:
         return bool(self.stage2)
+
+    @property
+    def fused(self) -> bool:
+        """Whether batch predictions run through the fused engine."""
+        return self._engine is not None
 
     @property
     def models(self) -> list[TrainedModel]:
@@ -122,8 +228,10 @@ class RMIModel:
     def search_ranges(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`search_range` over a key batch.
 
-        One network forward pass per stage (and per visited stage-2 model)
-        instead of one per key — the throughput path for batch lookups.
+        With the fused engine: one stage-1 pass to route, then one grouped
+        forward pass for *all* visited stage-2 leaves at once.  Without it:
+        one network forward pass per visited stage-2 model.  Either way the
+        returned ranges are guaranteed to contain every indexed key.
         """
         assert self.stage1 is not None
         keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
@@ -133,6 +241,8 @@ class RMIModel:
             hi = np.minimum(pos + self.stage1.err_u + 1, self.n)
             return lo, hi
         branches = self._route(keys)
+        if self._engine is not None:
+            return self._search_ranges_fused(keys, branches)
         lo = np.zeros(len(keys), dtype=np.int64)
         hi = np.zeros(len(keys), dtype=np.int64)
         for branch in np.unique(branches):
@@ -149,6 +259,36 @@ class RMIModel:
             hi_local = np.clip(local + model.err_u + 1, 1, len(positions))
             lo[mask] = positions[lo_local]
             hi[mask] = positions[hi_local - 1] + 1
+        return lo, hi
+
+    def _search_ranges_fused(
+        self, keys: np.ndarray, branches: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The engine-backed half of :meth:`search_ranges`."""
+        assert self._engine is not None
+        assert self._branch_to_midx is not None
+        assert self._fused_positions is not None and self._fused_offsets is not None
+        assert self.stage1 is not None
+        lo = np.zeros(len(keys), dtype=np.int64)
+        hi = np.zeros(len(keys), dtype=np.int64)
+        midx = self._branch_to_midx[branches]
+        fused = midx >= 0
+        if fused.any():
+            fm = midx[fused]
+            lo_local, hi_local = self._engine.search_ranges(fm, keys[fused])
+            base = self._fused_offsets[fm]
+            lo[fused] = self._fused_positions[base + lo_local]
+            hi[fused] = self._fused_positions[base + hi_local - 1] + 1
+            # Keep per-model invocation accounting meaningful on the
+            # fused path (one logical invocation per answered key).
+            for i, count in enumerate(np.bincount(fm, minlength=len(self._fused_members))):
+                if count:
+                    self._fused_members[i].invocations += int(count)
+        rest = ~fused
+        if rest.any():
+            pos = self.stage1.predict_positions(keys[rest])
+            lo[rest] = np.maximum(pos - self.stage1.err_l, 0)
+            hi[rest] = np.minimum(pos + self.stage1.err_u + 1, self.n)
         return lo, hi
 
     def search_range(self, key: float) -> tuple[int, int]:

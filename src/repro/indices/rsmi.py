@@ -382,8 +382,89 @@ class RSMIIndex(LearnedSpatialIndex):
             if child is not None:
                 self._window_visit(child, window, out)
 
+    def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
+        """Batch window queries: one tree walk shared by the whole batch.
+
+        Instead of one recursive descent per window, a single DFS carries
+        the set of still-active windows through each node: per node, both
+        corner keys of *every* active window map and predict in one model
+        pass (2 forward passes per window in the scalar path become 1 per
+        visited node).  Traversal stays pre-order, so each window's result
+        chunks — and hence its result array — match :meth:`window_query`
+        exactly, including RSMI's characteristic approximate recall.
+        """
+        self._check_built()
+        assert self.root is not None
+        if not windows:
+            return []
+        self.query_stats.queries += len(windows)
+        d = windows[0].ndim
+        win_lo = np.vstack([w.lo_array for w in windows])
+        win_hi = np.vstack([w.hi_array for w in windows])
+        chunks: list[list[np.ndarray]] = [[] for _ in windows]
+        with _span(
+            "rsmi.window_batch", index=self.name, windows=len(windows)
+        ) as window_span:
+            stack: list[tuple[_Node, np.ndarray]] = [
+                (self.root, np.arange(len(windows)))
+            ]
+            while stack:
+                node, active = stack.pop()
+                # Closed-box intersection test (touching counts), vectorised
+                # over the active windows — mirrors Rect.intersects.
+                blo, bhi = node.bounds.lo_array, node.bounds.hi_array
+                hit = np.all(win_lo[active] <= bhi, axis=1) & np.all(
+                    blo <= win_hi[active], axis=1
+                )
+                active = active[hit]
+                w = len(active)
+                if w == 0:
+                    continue
+                # Clip each window to the node's box before mapping, so
+                # corner codes stay inside the local curve's domain.
+                lo = np.maximum(win_lo[active], blo)
+                hi = np.minimum(win_hi[active], bhi)
+                z = self._node_keys(np.vstack([lo, hi]), node.bounds)
+                self.query_stats.model_invocations += 2 * w
+                pos = node.model.predict_positions(z)
+                model = node.model
+                pos_lo = np.maximum(pos[:w] - model.err_l, 0)
+                pos_hi = np.minimum(pos[w:] + model.err_u + 1, model.n_indexed)
+                if node.is_leaf:
+                    assert node.store is not None
+                    for j, wi in enumerate(active):
+                        pts, _keys, _ids = node.store.scan(
+                            int(pos_lo[j]) - node.inserts,
+                            int(pos_hi[j]) + node.inserts,
+                        )
+                        self.query_stats.points_scanned += len(pts)
+                        if len(pts):
+                            inside = pts[windows[wi].contains_points(pts)]
+                            if len(inside):
+                                chunks[wi].append(inside)
+                    continue
+                n = max(node.n, 1)
+                b_lo = np.clip((pos_lo * self.fanout) // n, 0, self.fanout - 1)
+                b_hi = np.clip(((pos_hi - 1) * self.fanout) // n, 0, self.fanout - 1)
+                # Push children high-branch-first so the LIFO pop keeps the
+                # scalar path's ascending pre-order per window.
+                for b in range(self.fanout - 1, -1, -1):
+                    child = node.children[b]
+                    if child is None:
+                        continue
+                    sub = active[(b_lo <= b) & (b <= b_hi)]
+                    if len(sub):
+                        stack.append((child, sub))
+            window_span.set(matched=sum(sum(len(c) for c in cs) for cs in chunks))
+        return [
+            np.vstack(cs) if cs else np.empty((0, d)) for cs in chunks
+        ]
+
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)
+
+    def knn_queries(self, points: np.ndarray, k: int) -> list[np.ndarray]:
+        return self._knn_by_expanding_window_batch(points, k)
 
     def map(self, points: np.ndarray) -> np.ndarray:
         """Global Morton keys over the root bounds (CDF tracking only;

@@ -152,6 +152,18 @@ class FFN:
         clone.biases = [b.copy() for b in self.biases]
         return clone
 
+    def astype(self, dtype) -> "FFN":
+        """Cast every parameter to ``dtype`` in place; returns self.
+
+        The opt-in float32 inference mode casts trained networks down
+        after (float64) training.  Predictions change by at most the
+        precision drop, so callers must re-measure error bounds afterwards
+        to keep predict-and-scan guarantees (see ``ELSIConfig.dtype``).
+        """
+        self.weights = [w.astype(dtype) for w in self.weights]
+        self.biases = [b.astype(dtype) for b in self.biases]
+        return self
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Snapshot of all parameters keyed ``w{i}`` / ``b{i}``."""
         state: dict[str, np.ndarray] = {}

@@ -44,14 +44,23 @@ class FusedTrainResult:
 def can_fuse(nets: list[FFN], config: TrainConfig) -> bool:
     """Whether this job set fits the fused path.
 
-    Requires at least two networks sharing one architecture and full-batch
-    training (the per-model minibatch shuffles of ``batch_size`` draw from
-    one RNG stream, which fusion cannot reproduce).
+    Requires at least two networks sharing one architecture (and dtype)
+    and full-batch training (the per-model minibatch shuffles of
+    ``batch_size`` draw from one RNG stream, which fusion cannot
+    reproduce).  A rejection is never silent: the reason lands in the
+    ``perf.fusion_rejected`` counter via
+    :func:`repro.perf.fused_infer.record_fusion_rejected`.
     """
-    if len(nets) < 2 or config.batch_size is not None:
+    from repro.perf.fused_infer import (
+        fusion_rejection_reason,
+        record_fusion_rejected,
+    )
+
+    reason = fusion_rejection_reason(nets, config)
+    if reason is not None:
+        record_fusion_rejected(reason, context="train")
         return False
-    first = nets[0].layer_sizes
-    return all(net.layer_sizes == first for net in nets)
+    return True
 
 
 def train_regressors_fused(

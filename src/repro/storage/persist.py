@@ -3,14 +3,16 @@
 A production system rebuilds rarely (the whole point of ELSI) and reopens
 often, so built indices must round-trip through storage.  Persistence
 covers the store-based indices the serving layer can host — ZM, ML-Index,
-LISA and Flood — whose state is one or more block stores plus trained
-models and a little mapping metadata.  RSMI's recursive node tree has no
-on-disk format yet; :func:`save_index` rejects it with a clear error.
+LISA and Flood — and RSMI's recursive node tree, which flattens to a
+pre-order node list (so serving snapshots work for all five indices).
 
 Format: a single ``.npz`` with JSON-encoded structural metadata and numpy
-arrays for points/keys/model weights.  FFN and PLA model states are both
-supported.  :func:`save_index` / :func:`load_index` dispatch on the index
-type (saving) and the embedded format tag (loading).
+arrays for points/keys/model weights.  FFN (float64 or float32-cast, see
+``ELSIConfig.dtype``) and PLA model states are both supported.  Fused
+inference engines (:mod:`repro.perf.fused_infer`) are derived state:
+loaders rebuild them from the restored models rather than persisting
+stacked arrays.  :func:`save_index` / :func:`load_index` dispatch on the
+index type (saving) and the embedded format tag (loading).
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ from repro.indices.flood import FloodIndex
 from repro.indices.lisa import LISAIndex
 from repro.indices.ml_index import MLIndex
 from repro.indices.rmi import RMIModel
+from repro.indices.rsmi import RSMIIndex
+from repro.indices.rsmi import _Node as _RSMINode
 from repro.indices.zm import ZMIndex
 from repro.ml.ffn import FFN
 from repro.ml.pla import PiecewiseLinearModel, _Segment
@@ -37,11 +41,13 @@ __all__ = [
     "load_index",
     "load_lisa_index",
     "load_ml_index",
+    "load_rsmi_index",
     "load_zm_index",
     "save_flood_index",
     "save_index",
     "save_lisa_index",
     "save_ml_index",
+    "save_rsmi_index",
     "save_zm_index",
 ]
 
@@ -61,6 +67,9 @@ def _model_payload(model: TrainedModel, prefix: str, arrays: dict) -> dict:
     if isinstance(net, FFN):
         meta["net_type"] = "ffn"
         meta["layer_sizes"] = net.layer_sizes
+        # Record the inference precision so float32-cast networks (see
+        # ``ELSIConfig.dtype``) round-trip with their measured bounds.
+        meta["net_dtype"] = str(net.weights[0].dtype)
         for name, value in net.state_dict().items():
             arrays[f"{prefix}.{name}"] = value
     elif isinstance(net, PiecewiseLinearModel):
@@ -82,6 +91,10 @@ def _model_from_payload(meta: dict, prefix: str, arrays) -> TrainedModel:
             state[f"w{i}"] = arrays[f"{prefix}.w{i}"]
             state[f"b{i}"] = arrays[f"{prefix}.b{i}"]
         net.load_state_dict(state)
+        if meta.get("net_dtype", "float64") == "float32":
+            # The saved bounds were measured under float32 arithmetic, so
+            # the restored network must predict under the same precision.
+            net.astype(np.float32)
     elif meta["net_type"] == "pla":
         segments = [
             _Segment(start=float(s), slope=float(m), intercept=float(b))
@@ -144,7 +157,14 @@ def _rmi_payload(model: RMIModel, arrays: dict, prefix: str = "m") -> dict:
     return meta
 
 
-def _rmi_from_payload(meta: dict, data, builder, branching: int, prefix: str = "m") -> RMIModel:
+def _rmi_from_payload(
+    meta: dict,
+    data,
+    builder,
+    branching: int,
+    prefix: str = "m",
+    sorted_keys: np.ndarray | None = None,
+) -> RMIModel:
     rmi = RMIModel(builder, branching=branching)
     rmi.n = meta["rmi_n"]
     rmi.stage1 = _model_from_payload(meta["stage1"], f"{prefix}0", data)
@@ -156,6 +176,10 @@ def _rmi_from_payload(meta: dict, data, builder, branching: int, prefix: str = "
         else:
             rmi.stage2.append(_model_from_payload(payload, f"{prefix}{i + 1}", data))
         rmi._stage2_positions.append(data[meta["stage2_positions"][i]])
+    if sorted_keys is not None:
+        # The fused inference engine is derived state: rebuild it (with
+        # freshly re-measured fused bounds) rather than persisting it.
+        rmi.fuse_inference(sorted_keys)
     return rmi
 
 
@@ -212,7 +236,8 @@ def load_zm_index(path: str | Path) -> ZMIndex:
         index._native_inserts = meta["native_inserts"]
         index.store = _store_from_arrays(data, "", meta["block_size"])
         index.model = _rmi_from_payload(
-            meta, data, index.builder, meta["branching"], prefix="m"
+            meta, data, index.builder, meta["branching"], prefix="m",
+            sorted_keys=index.store.keys,
         )
     return index
 
@@ -263,7 +288,8 @@ def load_ml_index(path: str | Path) -> MLIndex:
         )
         index.store = _store_from_arrays(data, "", meta["block_size"])
         index.model = _rmi_from_payload(
-            meta, data, index.builder, meta["branching"], prefix="m"
+            meta, data, index.builder, meta["branching"], prefix="m",
+            sorted_keys=index.store.keys,
         )
     return index
 
@@ -368,6 +394,100 @@ def load_flood_index(path: str | Path) -> FloodIndex:
                 _store_from_arrays(data, f"c{c}.", meta["block_size"])
             )
             index._models.append(_model_from_payload(payload, f"c{c}.m", data))
+        index._fuse_columns()
+    return index
+
+
+# ----------------------------------------------------------------------
+# RSMI
+# ----------------------------------------------------------------------
+def save_rsmi_index(index: RSMIIndex, path: str | Path) -> None:
+    """Persist a built RSMI index to ``path`` (.npz).
+
+    The node tree flattens in depth-first pre-order: node ``i`` stores its
+    model arrays under ``n{i}.m``, its leaf store (if any) under ``n{i}s.``
+    and its children as a list of node ids, so the loader rebuilds the
+    exact hierarchy — including insertion-widened leaves (``inserts``) and
+    the unbalanced subtrees that built-in insertion produces.
+    """
+    if index.root is None or index.bounds is None:
+        raise ValueError("the index must be built before saving")
+    arrays: dict[str, np.ndarray] = {}
+    nodes: list[dict] = []
+
+    def _visit(node: _RSMINode) -> int:
+        nid = len(nodes)
+        entry: dict = {
+            "bounds_lo": list(node.bounds.lo),
+            "bounds_hi": list(node.bounds.hi),
+            "n": node.n,
+            "depth": node.depth,
+            "inserts": node.inserts,
+            "children": None,
+        }
+        nodes.append(entry)  # reserve the slot first: ids are pre-order
+        entry["model"] = _model_payload(node.model, f"n{nid}.m", arrays)
+        if node.is_leaf:
+            assert node.store is not None
+            _store_arrays(node.store, f"n{nid}s.", arrays)
+        else:
+            entry["children"] = [
+                None if child is None else _visit(child)
+                for child in node.children
+            ]
+        return nid
+
+    _visit(index.root)
+    meta = {
+        "format": "repro-rsmi-v1",
+        "block_size": index.block_size,
+        "leaf_capacity": index.leaf_capacity,
+        "fanout": index.fanout,
+        "bits": index.bits,
+        "build_strategy": index.build_strategy,
+        "n_points": index.n_points,
+        "bounds_lo": list(index.bounds.lo),
+        "bounds_hi": list(index.bounds.hi),
+        "nodes": nodes,
+    }
+    _write(path, meta, arrays)
+
+
+def load_rsmi_index(path: str | Path) -> RSMIIndex:
+    """Load an RSMI index saved by :func:`save_rsmi_index`."""
+    with np.load(Path(path)) as data:
+        meta = _read_meta(data)
+        if meta.get("format") != "repro-rsmi-v1":
+            raise ValueError(f"not a repro RSMI index file: {path}")
+        index = RSMIIndex(
+            block_size=meta["block_size"],
+            leaf_capacity=meta["leaf_capacity"],
+            fanout=meta["fanout"],
+            bits=meta["bits"],
+            build_strategy=meta["build_strategy"],
+        )
+        index.bounds = Rect(tuple(meta["bounds_lo"]), tuple(meta["bounds_hi"]))
+        index.n_points = meta["n_points"]
+        built: list[_RSMINode] = []
+        for nid, entry in enumerate(meta["nodes"]):
+            node = _RSMINode(
+                bounds=Rect(tuple(entry["bounds_lo"]), tuple(entry["bounds_hi"])),
+                model=_model_from_payload(entry["model"], f"n{nid}.m", data),
+                n=entry["n"],
+                depth=entry["depth"],
+                inserts=entry["inserts"],
+            )
+            if entry["children"] is None:
+                node.store = _store_from_arrays(data, f"n{nid}s.", meta["block_size"])
+            built.append(node)
+        # Children ids are strictly greater than the parent's (pre-order),
+        # so every referenced node already exists when wiring runs.
+        for entry, node in zip(meta["nodes"], built):
+            if entry["children"] is not None:
+                node.children = [
+                    None if cid is None else built[cid] for cid in entry["children"]
+                ]
+        index.root = built[0]
     return index
 
 
@@ -379,21 +499,23 @@ _SAVERS = {
     MLIndex: save_ml_index,
     LISAIndex: save_lisa_index,
     FloodIndex: save_flood_index,
+    RSMIIndex: save_rsmi_index,
 }
 _LOADERS = {
     "repro-zm-v1": load_zm_index,
     "repro-ml-v1": load_ml_index,
     "repro-lisa-v1": load_lisa_index,
     "repro-flood-v1": load_flood_index,
+    "repro-rsmi-v1": load_rsmi_index,
 }
 
 
 def save_index(index, path: str | Path) -> None:
     """Persist any supported built index, dispatching on its type.
 
-    Supports the store-based indices (ZM, ML, LISA, Flood); anything else
-    (RSMI's recursive tree, traditional baselines) raises ``TypeError``
-    naming the supported set.
+    Supports the store-based indices (ZM, ML, LISA, Flood) and RSMI's
+    recursive node tree; anything else (traditional baselines) raises
+    ``TypeError`` naming the supported set.
     """
     saver = _SAVERS.get(type(index))
     if saver is None:

@@ -90,7 +90,7 @@ class TestRoundTrip:
         assert loaded.n_points == built_index.n_points
 
 
-ALL_PERSISTABLE = (ZMIndex, MLIndex, LISAIndex, FloodIndex)
+ALL_PERSISTABLE = (ZMIndex, MLIndex, LISAIndex, FloodIndex, RSMIIndex)
 
 
 class TestGenericDispatch:
@@ -130,12 +130,35 @@ class TestGenericDispatch:
                 loaded.knn_query(q, 5), index.knn_query(q, 5)
             )
 
-    def test_unsupported_type_clear_error(self, osm_points, tmp_path):
+    def test_unsupported_type_clear_error(self, tmp_path):
+        with pytest.raises(TypeError, match="supported index types"):
+            save_index(object(), tmp_path / "other.npz")
+
+    def test_rsmi_round_trip_after_inserts(self, osm_points, tmp_path):
+        """RSMI persists including insertion-widened leaves and new subtrees."""
         config = ELSIConfig(train_epochs=60)
-        rsmi = RSMIIndex(builder=ELSIModelBuilder(config, method="SP"))
-        rsmi.build(osm_points[:500])
-        with pytest.raises(TypeError, match="RSMI"):
-            save_index(rsmi, tmp_path / "rsmi.npz")
+        rsmi = RSMIIndex(
+            builder=ELSIModelBuilder(config, method="SP"), leaf_capacity=200
+        )
+        rsmi.build(osm_points[:1500])
+        rng = np.random.default_rng(7)
+        extra = rng.random((40, 2))
+        for p in extra:
+            rsmi.insert(p)
+        path = tmp_path / "rsmi.npz"
+        save_index(rsmi, path)
+        loaded = load_index(path)
+        assert type(loaded) is RSMIIndex
+        assert loaded.n_points == rsmi.n_points
+        assert loaded.depth() == rsmi.depth()
+        assert loaded.n_models() == rsmi.n_models()
+        probes = np.vstack([osm_points[:1500:30], extra, rng.random((20, 2)) + 1.5])
+        np.testing.assert_array_equal(
+            loaded.point_queries(probes), rsmi.point_queries(probes)
+        )
+        windows = [Rect.centered(np.array([0.4, 0.6]), 0.15)]
+        for a, b in zip(rsmi.window_queries(windows), loaded.window_queries(windows)):
+            np.testing.assert_array_equal(a, b)
 
     def test_zm_specific_loader_still_works(self, built_index, tmp_path):
         path = tmp_path / "generic-zm.npz"
