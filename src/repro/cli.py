@@ -12,6 +12,10 @@ Commands
     Build an index, start the micro-batching :class:`IndexServer`, and
     drive it with a closed-loop workload (optionally with concurrent
     updates and background rebuilds).  No network involved.
+``chaos``
+    Run the fault-injection chaos scenarios (process kill + recovery,
+    torn snapshot, rebuild-crash-retry) and assert zero
+    acknowledged-update loss (see docs/serving.md).
 ``experiments``
     List the per-table/figure experiment drivers and how to run them.
 ``obs report``
@@ -163,7 +167,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_seconds=args.max_wait_ms / 1e3,
         worker_threads=args.workers,
         rebuild_check_every=args.rebuild_check_every,
+        fsync_policy=args.fsync_policy,
     )
+    if args.wal and not args.snapshot_dir:
+        print("--wal requires --snapshot-dir (the log lives next to the "
+              "snapshots)", file=sys.stderr)
+        return 2
     workload = ServeWorkload.mixed(
         points,
         args.requests,
@@ -180,6 +189,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_config,
         elsi_config=ELSIConfig(seed=args.seed),
         snapshots=args.snapshot_dir,
+        wal=bool(args.wal),
     )
     with server:
         stop_updates = threading.Event()
@@ -199,6 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         feeder.join()
         stats = server.stats.snapshot()
         final_generation = server.generation
+        final_health = server.health
 
     baseline_result = None
     if args.baseline:
@@ -219,7 +230,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["inserts applied", f"{stats['inserts']}", ""],
         ["rebuilds (generation)", f"{stats['rebuilds']} (gen {final_generation})",
          f"{stats['rebuild_seconds']:.2f}s total"],
+        ["health", final_health,
+         f"shed {sum(stats['shed'].values())}, "
+         f"retries {sum(stats['retries'].values())}"],
     ]
+    if args.wal:
+        rows.append(["WAL appends", f"{stats['wal_appends']}",
+                     f"fsync {args.fsync_policy}"])
     if baseline_result is not None:
         rows.append(["baseline (unbatched)",
                      f"{baseline_result.throughput:,.0f} req/s",
@@ -232,6 +249,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                f"{args.clients} clients x {args.pipeline} pipeline)"),
     ))
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.faults.chaos import ChaosError, run_scenarios
+
+    names = args.scenario  # None means every scenario
+    if args.dir is not None:
+        context = None
+        base = args.dir
+    else:
+        context = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        base = context.name
+    try:
+        report = run_scenarios(base, names=names, seed=args.seed)
+    except ChaosError as exc:
+        print(f"CHAOS FAILURE: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if context is not None:
+            context.cleanup()
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    rows = [
+        [r["scenario"], f"{r['acked']}", f"{r['recovered_prefix']}",
+         "ok" if r["ok"] else "LOST UPDATES"]
+        for r in report["scenarios"]
+    ]
+    print(format_table(
+        ["scenario", "acked ops", "recovered prefix", "verdict"],
+        rows,
+        title="chaos: crash/recover scenarios (zero acknowledged-update loss)",
+    ))
+    print(f"fault triggers: {report['fault_report']['triggered']}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -365,9 +420,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rebuild-check-every", type=int, default=512)
     p.add_argument("--snapshot-dir", default=None,
                    help="persist generation snapshots to this directory")
+    p.add_argument("--wal", action="store_true",
+                   help="write-ahead-log every update before acknowledging "
+                        "it (requires --snapshot-dir; see docs/serving.md)")
+    p.add_argument("--fsync-policy", choices=("always", "batch", "off"),
+                   default="always",
+                   help="WAL durability: fsync per append, per batch, or "
+                        "leave writes OS-buffered")
     p.add_argument("--baseline", action="store_true",
                    help="also time the unbatched one-at-a-time loop")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("chaos", help="run the fault-injection chaos scenarios")
+    p.add_argument("--scenario", action="append", default=None,
+                   choices=("kill-and-recover", "torn-snapshot",
+                            "rebuild-crash-retry"),
+                   help="scenario to run (repeatable; default: all)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dir", default=None,
+                   help="working directory (default: a fresh temp dir)")
+    p.add_argument("--report", default=None,
+                   help="write the combined JSON report here")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("obs", help="observability tools (traces + metrics)")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

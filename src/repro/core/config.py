@@ -66,6 +66,13 @@ class ELSIConfig:
         stacks (:mod:`repro.perf.fused_infer`) hold single-precision
         parameters — half the model memory.  The ``REPRO_DTYPE``
         environment variable overrides this at builder construction.
+    faults:
+        Fault-injection spec armed when a server is constructed with this
+        config: comma-separated ``site=kind[:times[:after]]`` entries
+        (see :mod:`repro.faults`), e.g. ``"snapshot.write=error:1"`` or
+        ``"wal.append=torn_write:1:5"``.  Empty disables injection.  The
+        ``REPRO_FAULTS`` environment variable arms the same spec
+        process-wide.
     methods:
         Method pool names to consider, in canonical order.
     """
@@ -87,6 +94,7 @@ class ELSIConfig:
     parallelism: str = "serial"
     parallel_workers: int | None = None
     dtype: str = "float64"
+    faults: str = ""
     seed: int = 0
     methods: tuple[str, ...] = field(
         default=("SP", "CL", "MR", "RS", "RL", "OG")
@@ -123,3 +131,7 @@ class ELSIConfig:
             raise ValueError(
                 f"dtype must be one of {sorted(FUSION_DTYPES)}, got {self.dtype!r}"
             )
+        if self.faults:
+            from repro.faults.registry import parse_fault_spec
+
+            parse_fault_spec(self.faults)  # validates; arming is the server's job

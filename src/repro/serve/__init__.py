@@ -4,7 +4,9 @@ Built indices answer requests through an :class:`IndexServer`, which
 coalesces queued point/window/kNN requests into micro-batches and runs
 them down the vectorised batch paths; rebuilds happen in a background
 worker and swap in atomically behind a generation pointer; snapshots
-persist generations through :mod:`repro.storage.persist`.
+persist generations through :mod:`repro.storage.persist`, and a
+:class:`WriteAheadLog` makes acknowledged updates durable across crashes
+(see docs/serving.md, "Durability and failure modes").
 """
 
 from repro.serve.driver import (
@@ -13,25 +15,55 @@ from repro.serve.driver import (
     run_baseline,
     run_closed_loop,
 )
+from repro.serve.errors import (
+    RebuildFailed,
+    RequestTimeout,
+    ServerClosed,
+    ServerOverloaded,
+    ServerReadOnly,
+    SnapshotFailed,
+    WALCorruption,
+)
 from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
-from repro.serve.server import Generation, IndexServer, ServeConfig
+from repro.serve.server import (
+    DEGRADED,
+    HEALTHY,
+    READ_ONLY,
+    Generation,
+    IndexServer,
+    ServeConfig,
+)
 from repro.serve.snapshots import SnapshotManager
 from repro.serve.stats import LatencyHistogram, ServerStats
+from repro.serve.wal import FSYNC_POLICIES, WALRecord, WriteAheadLog
 
 __all__ = [
+    "DEGRADED",
     "DriverResult",
+    "FSYNC_POLICIES",
     "Generation",
+    "HEALTHY",
     "IndexServer",
     "KNN",
     "LatencyHistogram",
     "POINT",
+    "READ_ONLY",
+    "RebuildFailed",
     "Reply",
     "Request",
+    "RequestTimeout",
     "ServeConfig",
     "ServeWorkload",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServerReadOnly",
     "ServerStats",
+    "SnapshotFailed",
     "SnapshotManager",
+    "WALCorruption",
+    "WALRecord",
     "WINDOW",
+    "WriteAheadLog",
     "run_baseline",
     "run_closed_loop",
 ]

@@ -23,33 +23,81 @@ Consistency model:
 - The rebuild worker re-evaluates the rebuild predictor (or the CDF-drift
   heuristic) every ``rebuild_check_every`` updates, exactly the paper's
   ``f_u``-periodic ``to_rebuild`` protocol run off the request path.
+
+Fault tolerance (docs/serving.md, "Durability and failure modes"):
+
+- With a :class:`~repro.serve.wal.WriteAheadLog` attached, every
+  insert/delete is appended (fsynced under the default policy) *before*
+  the call returns, so recovery = latest loadable snapshot + WAL tail —
+  :meth:`IndexServer.from_snapshot` replays it, quarantining corrupt
+  snapshots and falling back to older generations.
+- Rebuild and snapshot failures retry with exponential backoff + jitter
+  under ``max_retries``; the old generation keeps serving throughout.
+  The health state walks ``healthy → degraded → read_only``: degraded
+  after any failure, read-only (queries served, updates rejected with
+  :class:`~repro.serve.errors.ServerReadOnly`) once the rebuild retry
+  budget is exhausted.  A later successful rebuild restores ``healthy``.
+- Admission control is bounded: past ``max_queue_depth`` submissions
+  shed with :class:`~repro.serve.errors.ServerOverloaded`; requests that
+  age past ``request_timeout_seconds`` in the queue shed with
+  :class:`~repro.serve.errors.RequestTimeout` instead of being served
+  stale.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.config import ELSIConfig
 from repro.core.update_processor import RebuildPredictor, UpdateProcessor
+from repro.faults.registry import fault_check, get_fault_registry
 from repro.indices.base import LearnedSpatialIndex
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span as _span
+from repro.serve.errors import (
+    RebuildFailed,
+    RequestTimeout,
+    ServerClosed,
+    ServerOverloaded,
+    ServerReadOnly,
+    SnapshotFailed,
+)
 from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
 from repro.serve.snapshots import SnapshotManager
 from repro.serve.stats import ServerStats
+from repro.serve.wal import FSYNC_POLICIES, WriteAheadLog
 from repro.spatial.rect import Rect
 
-__all__ = ["Generation", "IndexServer", "ServeConfig"]
+__all__ = [
+    "DEGRADED",
+    "Generation",
+    "HEALTHY",
+    "IndexServer",
+    "READ_ONLY",
+    "ServeConfig",
+]
+
+#: Serving-health states: ``healthy`` — everything nominal; ``degraded``
+#: — a background rebuild/snapshot failed and is being retried while the
+#: old generation serves; ``read_only`` — the rebuild retry budget is
+#: exhausted, queries are still served but updates are rejected.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+READ_ONLY = "read_only"
+
+_HEALTH_LEVELS = {HEALTHY: 0, DEGRADED: 1, READ_ONLY: 2}
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Admission-control and worker knobs.
+    """Admission-control, durability, and worker knobs.
 
     Attributes
     ----------
@@ -71,6 +119,23 @@ class ServeConfig:
     auto_rebuild:
         Whether the background worker may swap in rebuilt generations on
         its own.  :meth:`IndexServer.rebuild_now` works either way.
+    max_queue_depth:
+        Bounded admission: submissions beyond this queue depth raise
+        :class:`~repro.serve.errors.ServerOverloaded` instead of growing
+        the queue without limit.  ``0`` disables the bound.
+    request_timeout_seconds:
+        Requests older than this when a dispatcher picks them up are
+        shed with :class:`~repro.serve.errors.RequestTimeout` rather
+        than served stale.  ``None`` disables shedding by age.
+    max_retries:
+        Retry budget for background rebuilds and snapshot saves (the
+        attempt count beyond the first try).
+    retry_base_delay / retry_max_delay:
+        Exponential-backoff window for those retries; each wait is
+        jittered to avoid thundering retries across servers.
+    fsync_policy:
+        WAL durability: ``always`` / ``batch`` / ``off`` (see
+        :mod:`repro.serve.wal`).
     """
 
     max_batch_size: int = 256
@@ -78,6 +143,12 @@ class ServeConfig:
     worker_threads: int = 1
     rebuild_check_every: int = 512
     auto_rebuild: bool = True
+    max_queue_depth: int = 10_000
+    request_timeout_seconds: float | None = None
+    max_retries: int = 3
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 2.0
+    fsync_policy: str = "always"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -91,6 +162,26 @@ class ServeConfig:
         if self.rebuild_check_every < 1:
             raise ValueError(
                 f"rebuild_check_every must be >= 1, got {self.rebuild_check_every}"
+            )
+        if self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.request_timeout_seconds is not None and self.request_timeout_seconds <= 0:
+            raise ValueError(
+                "request_timeout_seconds must be positive or None, "
+                f"got {self.request_timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_base_delay < 0 or self.retry_max_delay < self.retry_base_delay:
+            raise ValueError(
+                "need 0 <= retry_base_delay <= retry_max_delay, got "
+                f"{self.retry_base_delay}/{self.retry_max_delay}"
+            )
+        if self.fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, got {self.fsync_policy!r}"
             )
 
 
@@ -117,9 +208,10 @@ class IndexServer:
     index:
         A *built* :class:`~repro.indices.base.LearnedSpatialIndex`.
     config:
-        Admission/worker knobs (:class:`ServeConfig`).
+        Admission/worker/durability knobs (:class:`ServeConfig`).
     elsi_config:
-        Passed to the update processor (supplies ``f_u`` etc.).
+        Passed to the update processor (supplies ``f_u`` etc.).  Its
+        ``faults`` spec, if any, is armed on the process fault registry.
     predictor:
         Optional trained rebuild predictor; without one the CDF-drift
         heuristic decides rebuilds.
@@ -131,6 +223,14 @@ class IndexServer:
         Optional :class:`SnapshotManager` (or directory path); when set,
         every rebuild's result is persisted as the new generation's
         snapshot.
+    wal:
+        Write-ahead durability: ``True`` logs updates next to the
+        snapshots (requires ``snapshots``), a path logs them there, or
+        pass a :class:`~repro.serve.wal.WriteAheadLog` directly.  With a
+        WAL attached every insert/delete is persisted before the call
+        returns, and a base snapshot is written at construction if the
+        snapshot directory is empty — so crash recovery never needs
+        in-memory state.
     """
 
     def __init__(
@@ -142,11 +242,14 @@ class IndexServer:
         index_factory=None,
         snapshots: "SnapshotManager | str | None" = None,
         generation: int = 0,
+        wal: "WriteAheadLog | str | bool | None" = None,
     ) -> None:
         if index.bounds is None:
             raise ValueError("the served index must be built first")
         self.config = config or ServeConfig()
         self.elsi_config = elsi_config or ELSIConfig()
+        if self.elsi_config.faults:
+            get_fault_registry().arm_spec(self.elsi_config.faults)
         self.predictor = predictor
         self._index_factory = index_factory or (
             lambda: type(index)(builder=index.builder)
@@ -162,6 +265,8 @@ class IndexServer:
         self._journal_gauge = self.stats.registry.gauge("serve.rebuild_journal_depth")
         self._age_gauge = self.stats.registry.gauge("serve.generation_age_seconds")
         self._swap_hist = self.stats.registry.histogram("serve.swap_seconds")
+        self._health_gauge = self.stats.registry.gauge("serve.health_state")
+        self._wal_gauge = self.stats.registry.gauge("serve.wal_depth")
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
         self._rebuild_wanted = threading.Event()
@@ -172,21 +277,88 @@ class IndexServer:
         self._updates_since_check = 0
         self._threads: list[threading.Thread] = []
         self._started = False
+        self._closed = False
+        self._health = HEALTHY
+        #: The last exception a rebuild attempt raised (cleared on
+        #: success); background-worker failures surface here and on the
+        #: health gauge instead of dying silently.
+        self.last_rebuild_error: BaseException | None = None
+        if wal is True:
+            if self.snapshots is None:
+                raise ValueError("wal=True requires a snapshot manager/directory")
+            wal = WriteAheadLog(
+                self.snapshots.directory,
+                generation=generation,
+                fsync_policy=self.config.fsync_policy,
+            )
+        elif isinstance(wal, (str, bytes, Path)):
+            wal = WriteAheadLog(
+                wal, generation=generation, fsync_policy=self.config.fsync_policy
+            )
+        elif wal is False:
+            wal = None
+        self.wal: WriteAheadLog | None = wal
+        if self.snapshots is not None:
+            self.snapshots.mark_serving(generation)
+            # Durability bootstrap: the WAL only recovers *on top of* a
+            # snapshot, so an empty snapshot directory gets the base
+            # generation persisted up front.
+            if self.wal is not None and not self.snapshots.generations():
+                self.save_snapshot()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
     def from_snapshot(
-        cls, snapshots: "SnapshotManager | str", generation: int | None = None, **kwargs
+        cls,
+        snapshots: "SnapshotManager | str",
+        generation: int | None = None,
+        wal: "str | bool | None" = None,
+        **kwargs,
     ) -> "IndexServer":
-        """Open a server on the latest (or a specific) persisted snapshot."""
+        """Open a server on the latest *loadable* snapshot (+ WAL tail).
+
+        Corrupt or torn snapshots are quarantined and the loader falls
+        back to the previous generation (see :meth:`SnapshotManager.load`).
+        With ``wal`` set (``True`` = same directory as the snapshots),
+        every write-ahead-log record from the loaded generation on is
+        replayed in sequence order, so the recovered server reports every
+        update that was acknowledged before the crash.
+        """
         if not isinstance(snapshots, SnapshotManager):
             snapshots = SnapshotManager(snapshots)
         index, gen_id = snapshots.load(generation)
-        return cls(index, snapshots=snapshots, generation=gen_id, **kwargs)
+        if not wal:
+            return cls(index, snapshots=snapshots, generation=gen_id, **kwargs)
+        wal_dir = snapshots.directory if wal is True else Path(wal)
+        records = WriteAheadLog.replay_dir(
+            wal_dir, from_generation=gen_id, salvage=True
+        )
+        # Reopen at the highest generation any surviving log reached, so
+        # new appends land *after* every replayed record in replay order.
+        open_gen = gen_id
+        for entry in wal_dir.iterdir():
+            name = entry.name
+            if name.startswith("wal-") and name.endswith(".log"):
+                try:
+                    open_gen = max(open_gen, int(name[4:-4]))
+                except ValueError:
+                    continue
+        server = cls(
+            index, snapshots=snapshots, generation=open_gen, wal=str(wal_dir), **kwargs
+        )
+        processor = server._gen.processor
+        for record in records:
+            if record.op == "insert":
+                processor.insert(record.point)
+            else:
+                processor.delete(record.point)
+        return server
 
     def start(self) -> "IndexServer":
+        if self._closed:
+            raise ServerClosed("this server has been closed")
         if self._started:
             return self
         self._started = True
@@ -205,17 +377,23 @@ class IndexServer:
         return self
 
     def close(self) -> None:
-        """Stop workers; queued requests are served before shutdown."""
-        if not self._started:
+        """Stop workers; queued requests are served before shutdown.
+        After ``close()`` the server is dead: submissions and updates
+        raise :class:`~repro.serve.errors.ServerClosed`."""
+        if self._closed:
             return
-        self._stop.set()
-        for _ in range(self.config.worker_threads):
-            self._queue.put(_SHUTDOWN)
-        self._rebuild_wanted.set()
-        for t in self._threads:
-            t.join(timeout=30.0)
-        self._threads = []
-        self._started = False
+        self._closed = True
+        if self._started:
+            self._stop.set()
+            for _ in range(self.config.worker_threads):
+                self._queue.put(_SHUTDOWN)
+            self._rebuild_wanted.set()
+            for t in self._threads:
+                t.join(timeout=30.0)
+            self._threads = []
+            self._started = False
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "IndexServer":
         return self.start()
@@ -241,12 +419,29 @@ class IndexServer:
         """Logical cardinality |D'| of the current generation."""
         return self._gen.processor.n_effective
 
+    @property
+    def health(self) -> str:
+        """``healthy`` / ``degraded`` / ``read_only`` (see module docs)."""
+        return self._health
+
+    def _set_health(self, state: str) -> None:
+        if state not in _HEALTH_LEVELS:
+            raise ValueError(f"unknown health state {state!r}")
+        if state != self._health:
+            self.stats.registry.counter("serve.health_transitions", to=state).inc()
+        self._health = state
+        self._health_gauge.set(_HEALTH_LEVELS[state])
+
     def stats_snapshot(self) -> dict:
         """Exporter-format metrics dump: this server's registry (requests,
-        batches, rebuilds, swap latency, journal depth, generation age)
-        merged with the process-wide registry (build/query/perf metrics).
+        batches, rebuilds, swap latency, journal depth, generation age,
+        health, WAL depth, shed/retry counters) merged with the
+        process-wide registry (build/query/perf/fault metrics).
         ``{name: [{labels, kind, value}, ...]}``, JSON-able."""
         self._age_gauge.set(time.time() - self._gen_swapped_at)
+        self._health_gauge.set(_HEALTH_LEVELS[self._health])
+        if self.wal is not None:
+            self._wal_gauge.set(self.wal.depth)
         out = dict(get_registry().export())
         out.update(self.stats.registry.export())
         return out
@@ -255,8 +450,19 @@ class IndexServer:
     # Request submission (async) and sync conveniences
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> Reply:
+        if self._closed:
+            raise ServerClosed(
+                "server is closed; submissions after close() are rejected"
+            )
         if not self._started:
             raise RuntimeError("server is not started; use start() or a with-block")
+        depth = self.config.max_queue_depth
+        if depth and self._queue.qsize() >= depth:
+            self.stats.note_shed("overloaded")
+            raise ServerOverloaded(
+                f"request queue is at capacity ({depth}); shedding instead of "
+                "queueing unboundedly"
+            )
         self.stats.note_submit(request.kind)
         self._queue.put(request)
         return request.reply
@@ -291,6 +497,8 @@ class IndexServer:
     def insert(self, point: np.ndarray) -> None:
         """Ingest one insertion into the live generation (synchronous).
 
+        With a WAL attached, the operation is durably appended before
+        this returns — the acknowledgement *is* the durability point.
         While a rebuild is in flight the operation is also journalled and
         replayed into the successor generation before the swap.
         """
@@ -300,7 +508,22 @@ class IndexServer:
         return self._apply_update("delete", np.asarray(point, dtype=np.float64))
 
     def _apply_update(self, op: str, point: np.ndarray):
+        if self._closed:
+            raise ServerClosed("server is closed; updates after close() are rejected")
+        if self._health == READ_ONLY:
+            self.stats.note_shed("read_only")
+            raise ServerReadOnly(
+                "server is read-only (rebuild retry budget exhausted); "
+                "updates are rejected until a rebuild succeeds"
+            )
         with self._update_lock:
+            if self.wal is not None:
+                # Append (and fsync, per policy) BEFORE applying: if this
+                # raises, the update was never acknowledged and is simply
+                # absent everywhere.
+                self.wal.append(op, point)
+                self.stats.note_wal_append()
+                self._wal_gauge.set(self.wal.depth)
             processor = self._gen.processor
             if op == "insert":
                 result = processor.insert(point)
@@ -352,15 +575,40 @@ class IndexServer:
                 batch.append(item)
             self._serve_batch(batch)
 
+    def _shed_expired(self, batch: list[Request], now: float) -> list[Request]:
+        """Reject requests that aged past the deadline while queued."""
+        timeout = self.config.request_timeout_seconds
+        if timeout is None:
+            return batch
+        live: list[Request] = []
+        for r in batch:
+            waited = now - r.reply.submitted_at
+            if waited > timeout:
+                r.reply.reject(
+                    RequestTimeout(
+                        f"request waited {waited * 1e3:.1f} ms in queue "
+                        f"(deadline {timeout * 1e3:.1f} ms); shed unserved"
+                    )
+                )
+                self.stats.note_shed("timeout")
+            else:
+                live.append(r)
+        return live
+
     def _serve_batch(self, batch: list[Request]) -> None:
         # One generation read per batch: every request in the batch is
         # answered from this snapshot, however long the batch takes and
         # whatever the rebuild worker swaps in meanwhile.
         gen = self._gen
         started = time.perf_counter()
+        batch = self._shed_expired(batch, started)
+        if not batch:
+            return
         errors = 0
         try:
+            fault_check("serve.dispatch")
             with _span("serve.batch", size=len(batch), gen=gen.gen_id):
+                fault_check("index.query")
                 points_idx = [i for i, r in enumerate(batch) if r.kind == POINT]
                 if points_idx:
                     pts = np.stack([batch[i].point for i in points_idx])
@@ -412,49 +660,116 @@ class IndexServer:
             try:
                 if self._gen.processor.to_rebuild():
                     self.rebuild_now()
-            except Exception:  # noqa: BLE001 - the worker must survive
+            except Exception as exc:  # noqa: BLE001 - the worker must survive
+                # rebuild_now already retried, counted the failures, and
+                # moved the health gauge; record and keep the worker alive.
+                self.last_rebuild_error = exc
                 continue
+
+    def _backoff(self, attempt: int, budget_exhausted_error: Exception) -> None:
+        """Sleep one jittered exponential-backoff step (interruptible)."""
+        delay = min(
+            self.config.retry_base_delay * (2 ** (attempt - 1)),
+            self.config.retry_max_delay,
+        )
+        delay *= 0.5 + random.random()  # jitter in [0.5x, 1.5x)
+        if self._stop.wait(min(delay, self.config.retry_max_delay)):
+            raise budget_exhausted_error
 
     def rebuild_now(self) -> float:
         """Rebuild on the logical data set and swap generations; returns
         the build seconds.  Safe to call from any thread; queries keep
-        being served from the old generation throughout."""
+        being served from the old generation throughout.
+
+        Failures retry with exponential backoff + jitter under the
+        ``max_retries`` budget (health ``degraded`` while retrying, old
+        generation still serving).  When the budget is exhausted the
+        server degrades to ``read_only`` and this raises
+        :class:`~repro.serve.errors.RebuildFailed` — callers see the
+        real error as ``__cause__``, and a later successful call restores
+        ``healthy``."""
         with self._rebuild_mutex:
-            with self._update_lock:
-                old = self._gen
-                points = old.processor.current_points()
-                self._pending_ops = []
-                self._rebuilding = True
-            try:
-                with _span("serve.rebuild", gen=old.gen_id, n=len(points)):
-                    started = time.perf_counter()
-                    with _span("serve.rebuild.build", n=len(points)):
-                        fresh = self._index_factory()
-                        fresh.build(points)
-                    elapsed = time.perf_counter() - started
-                    new_processor = self._make_processor(fresh)
-                    swap_started = time.perf_counter()
-                    with _span("serve.rebuild.swap") as swap_span:
-                        with self._update_lock:
-                            depth = len(self._pending_ops)
-                            swap_span.set(journal_depth=depth)
-                            with _span("serve.rebuild.replay", journal_depth=depth):
-                                for op, p in self._pending_ops:
-                                    if op == "insert":
-                                        new_processor.insert(p)
-                                    else:
-                                        new_processor.delete(p)
-                            self._pending_ops = []
-                            self._gen = Generation(old.gen_id + 1, new_processor)
-                            self._gen_swapped_at = time.time()
-                    self._swap_hist.record(time.perf_counter() - swap_started)
-                    self._journal_gauge.set(0)
-            finally:
-                with self._update_lock:
-                    self._rebuilding = False
+            attempt = 0
+            while True:
+                try:
+                    elapsed = self._rebuild_once()
+                    break
+                except Exception as exc:  # noqa: BLE001 - injected or real
+                    attempt += 1
+                    self.last_rebuild_error = exc
+                    self.stats.note_rebuild_failure()
+                    if attempt > self.config.max_retries:
+                        self._set_health(READ_ONLY)
+                        raise RebuildFailed(
+                            f"rebuild failed after {attempt} attempts "
+                            f"(budget {self.config.max_retries} retries): {exc}"
+                        ) from exc
+                    self._set_health(DEGRADED)
+                    self.stats.note_retry("rebuild")
+                    self._backoff(
+                        attempt,
+                        RebuildFailed("server stopped during rebuild retries"),
+                    )
+            self.last_rebuild_error = None
+            self._set_health(HEALTHY)
         self.stats.note_rebuild(elapsed)
         if self.snapshots is not None:
-            self.save_snapshot()
+            try:
+                self.save_snapshot()
+                if self.wal is not None:
+                    # Older WAL generations are now redundant: the new
+                    # snapshot durably contains everything they recorded.
+                    self.wal.remove_through(self._gen.gen_id)
+            except SnapshotFailed:
+                # The rebuild itself succeeded — keep serving, but flag
+                # the lost durability compaction: recovery still works
+                # from the older snapshot + the retained WAL files.
+                self._set_health(DEGRADED)
+        return elapsed
+
+    def _rebuild_once(self) -> float:
+        """One rebuild attempt: build off-path, replay the journal, swap."""
+        with self._update_lock:
+            old = self._gen
+            points = old.processor.current_points()
+            self._pending_ops = []
+            self._rebuilding = True
+        try:
+            with _span("serve.rebuild", gen=old.gen_id, n=len(points)):
+                fault_check("rebuild.worker")
+                started = time.perf_counter()
+                with _span("serve.rebuild.build", n=len(points)):
+                    fresh = self._index_factory()
+                    fresh.build(points)
+                elapsed = time.perf_counter() - started
+                new_processor = self._make_processor(fresh)
+                swap_started = time.perf_counter()
+                with _span("serve.rebuild.swap") as swap_span:
+                    with self._update_lock:
+                        depth = len(self._pending_ops)
+                        swap_span.set(journal_depth=depth)
+                        with _span("serve.rebuild.replay", journal_depth=depth):
+                            for op, p in self._pending_ops:
+                                if op == "insert":
+                                    new_processor.insert(p)
+                                else:
+                                    new_processor.delete(p)
+                        self._pending_ops = []
+                        self._gen = Generation(old.gen_id + 1, new_processor)
+                        self._gen_swapped_at = time.time()
+                        if self.wal is not None:
+                            # Fresh deltas against the new generation's
+                            # base; the old log stays on disk until the
+                            # new snapshot is durably saved.
+                            self.wal.rotate(old.gen_id + 1)
+                            self._wal_gauge.set(0)
+                        if self.snapshots is not None:
+                            self.snapshots.mark_serving(old.gen_id + 1)
+                self._swap_hist.record(time.perf_counter() - swap_started)
+                self._journal_gauge.set(0)
+        finally:
+            with self._update_lock:
+                self._rebuilding = False
         return elapsed
 
     def _make_processor(self, index: LearnedSpatialIndex) -> UpdateProcessor:
@@ -473,10 +788,31 @@ class IndexServer:
     # ------------------------------------------------------------------
     def save_snapshot(self) -> "str | None":
         """Persist the current generation's base index (side-list updates
-        pending since the last rebuild are not part of the snapshot)."""
+        pending since the last rebuild are not part of the snapshot —
+        with a WAL attached they are covered by the log).
+
+        Write failures retry with backoff under ``max_retries``; raises
+        :class:`~repro.serve.errors.SnapshotFailed` when exhausted."""
         if self.snapshots is None:
             raise RuntimeError("no SnapshotManager configured")
         gen = self._gen
-        path = self.snapshots.save(gen.index, gen.gen_id)
+        attempt = 0
+        while True:
+            try:
+                path = self.snapshots.save(gen.index, gen.gen_id)
+                break
+            except Exception as exc:  # noqa: BLE001 - injected or real
+                attempt += 1
+                self.stats.note_snapshot_failure()
+                if attempt > self.config.max_retries:
+                    raise SnapshotFailed(
+                        f"snapshot save for generation {gen.gen_id} failed "
+                        f"after {attempt} attempts: {exc}"
+                    ) from exc
+                self.stats.note_retry("snapshot")
+                self._backoff(
+                    attempt,
+                    SnapshotFailed("server stopped during snapshot retries"),
+                )
         self.stats.note_snapshot()
         return str(path)

@@ -6,19 +6,47 @@ A serving deployment reopens indices far more often than it rebuilds them
 are atomic — the ``.npz`` is written to a temporary name in the same
 directory and renamed into place — so a crash mid-save can never leave a
 half-written snapshot as the latest generation.
+
+The manager is also the recovery loader's first line of defence:
+
+- orphaned ``.tmp`` files from a crash mid-save are swept on startup;
+- a snapshot that fails to load (torn, truncated, or otherwise corrupt)
+  is *quarantined* — renamed to ``gen-NNNNNN.npz.corrupt`` — and
+  :meth:`load` falls back to the previous generation instead of raising,
+  so one bad file never takes recovery down (the WAL tail replays the
+  difference, see :mod:`repro.serve.wal`);
+- :meth:`prune` refuses to delete the generation currently being served
+  (:meth:`mark_serving`) or an explicitly protected one.
+
+Fault injection: the write path passes the ``snapshot.write`` site, so
+chaos tests can make saves fail or tear deterministically.
 """
 
 from __future__ import annotations
 
 import os
 import re
+import zipfile
 from pathlib import Path
 
+from repro.faults.registry import InjectedFault, fault_check
+from repro.obs.metrics import get_registry
 from repro.storage.persist import load_index, save_index
 
 __all__ = ["SnapshotManager"]
 
 _SNAPSHOT_RE = re.compile(r"^gen-(\d+)\.npz$")
+_TMP_RE = re.compile(r"^\.gen-(\d+)\.tmp\.npz$")
+
+#: Exceptions that mean "this snapshot file is unusable" (as opposed to a
+#: programming error): truncated archives, bad zip members, garbage meta.
+_LOAD_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+)
 
 
 class SnapshotManager:
@@ -27,6 +55,8 @@ class SnapshotManager:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._serving: int | None = None
+        self.cleanup_tmp()
 
     # ------------------------------------------------------------------
     def path_for(self, generation: int) -> Path:
@@ -45,36 +75,89 @@ class SnapshotManager:
         generations = self.generations()
         return generations[-1] if generations else None
 
+    def mark_serving(self, generation: int | None) -> None:
+        """Record the generation currently being served; :meth:`prune`
+        will refuse to delete its snapshot."""
+        self._serving = generation
+
+    def cleanup_tmp(self) -> list[Path]:
+        """Remove orphaned ``.tmp`` files left by a crash mid-save."""
+        removed = []
+        for entry in self.directory.iterdir():
+            if _TMP_RE.match(entry.name):
+                entry.unlink()
+                removed.append(entry)
+        return removed
+
     # ------------------------------------------------------------------
     def save(self, index, generation: int) -> Path:
         """Atomically persist ``index`` as snapshot ``generation``."""
         final = self.path_for(generation)
         tmp = self.directory / f".gen-{generation:06d}.tmp.npz"
+        action = fault_check("snapshot.write")
         save_index(index, tmp)
+        if action == "torn_write":
+            # Simulated crash between the data write and its fsync: the
+            # rename lands but the contents are truncated mid-file.
+            with open(tmp, "r+b") as fh:
+                fh.truncate(max(tmp.stat().st_size // 2, 1))
+            os.replace(tmp, final)
+            raise InjectedFault("torn write injected at snapshot.write")
         os.replace(tmp, final)
         return final
 
-    def load(self, generation: int | None = None):
-        """Load snapshot ``generation`` (default: latest).
-
-        Returns ``(index, generation)``; raises ``FileNotFoundError`` when
-        the directory holds no snapshots (or not the requested one).
-        """
-        if generation is None:
-            generation = self.latest()
-            if generation is None:
-                raise FileNotFoundError(f"no snapshots in {self.directory}")
+    def quarantine(self, generation: int) -> Path:
+        """Move a bad snapshot aside as ``gen-NNNNNN.npz.corrupt``."""
         path = self.path_for(generation)
-        if not path.exists():
-            raise FileNotFoundError(f"no snapshot for generation {generation}: {path}")
-        return load_index(path), generation
+        target = path.with_suffix(path.suffix + ".corrupt")
+        os.replace(path, target)
+        get_registry().counter("snapshots.quarantined").inc()
+        return target
 
-    def prune(self, keep: int = 3) -> list[Path]:
-        """Delete all but the newest ``keep`` snapshots; returns removals."""
+    def load(self, generation: int | None = None):
+        """Load snapshot ``generation`` (default: latest *loadable*).
+
+        With no explicit generation, corrupt snapshots are quarantined
+        and the loader falls back to the next-older generation; raises
+        ``FileNotFoundError`` only when no snapshot loads at all.  An
+        explicit ``generation`` is strict: load errors propagate.
+
+        Returns ``(index, generation)``.
+        """
+        if generation is not None:
+            path = self.path_for(generation)
+            if not path.exists():
+                raise FileNotFoundError(
+                    f"no snapshot for generation {generation}: {path}"
+                )
+            return load_index(path), generation
+        last_error: Exception | None = None
+        for candidate in reversed(self.generations()):
+            try:
+                return load_index(self.path_for(candidate)), candidate
+            except _LOAD_ERRORS as exc:
+                last_error = exc
+                self.quarantine(candidate)
+        if last_error is not None:
+            raise FileNotFoundError(
+                f"no loadable snapshots in {self.directory} "
+                f"(last failure: {last_error})"
+            )
+        raise FileNotFoundError(f"no snapshots in {self.directory}")
+
+    def prune(self, keep: int = 3, protect: int | None = None) -> list[Path]:
+        """Delete all but the newest ``keep`` snapshots; returns removals.
+
+        The generation marked as being served (:meth:`mark_serving`) and
+        ``protect`` are never deleted, whatever ``keep`` says.
+        """
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
+        protected = {g for g in (protect, self._serving) if g is not None}
         removed = []
         for generation in self.generations()[:-keep]:
+            if generation in protected:
+                continue
             path = self.path_for(generation)
             path.unlink()
             removed.append(path)

@@ -84,6 +84,11 @@ class ServerStats:
         self._rebuild_seconds = r.counter("serve.rebuild_seconds")
         self._generation_swaps = r.counter("serve.generation_swaps")
         self._snapshots_saved = r.counter("serve.snapshots_saved")
+        self._shed_reasons: list[str] = []
+        self._retry_ops: list[str] = []
+        self._rebuild_failures = r.counter("serve.rebuild_failures")
+        self._snapshot_failures = r.counter("serve.snapshot_failures")
+        self._wal_appends = r.counter("serve.wal_appends")
         self.queue_wait = r.histogram(
             "serve.queue_wait_seconds",
             base=LatencyHistogram.BASE,
@@ -143,6 +148,34 @@ class ServerStats:
         with self._lock:
             self._snapshots_saved.inc()
 
+    def note_shed(self, reason: str) -> None:
+        """One request (or update) shed: ``overloaded`` (queue at
+        capacity), ``timeout`` (aged out while queued), or ``read_only``
+        (update rejected in degraded-read-only state)."""
+        with self._lock:
+            if reason not in self._shed_reasons:
+                self._shed_reasons.append(reason)
+            self.registry.counter("serve.requests_shed", reason=reason).inc()
+
+    def note_retry(self, op: str) -> None:
+        """One backoff retry of a background op (``rebuild``/``snapshot``)."""
+        with self._lock:
+            if op not in self._retry_ops:
+                self._retry_ops.append(op)
+            self.registry.counter("serve.retries", op=op).inc()
+
+    def note_rebuild_failure(self) -> None:
+        with self._lock:
+            self._rebuild_failures.inc()
+
+    def note_snapshot_failure(self) -> None:
+        with self._lock:
+            self._snapshot_failures.inc()
+
+    def note_wal_append(self) -> None:
+        with self._lock:
+            self._wal_appends.inc()
+
     # ------------------------------------------------------------------
     # Legacy attribute surface (reads the registry instruments)
     # ------------------------------------------------------------------
@@ -200,6 +233,34 @@ class ServerStats:
         return int(self._snapshots_saved.value)
 
     @property
+    def shed(self) -> dict[str, int]:
+        return {
+            reason: int(
+                self.registry.counter("serve.requests_shed", reason=reason).value
+            )
+            for reason in self._shed_reasons
+        }
+
+    @property
+    def retries(self) -> dict[str, int]:
+        return {
+            op: int(self.registry.counter("serve.retries", op=op).value)
+            for op in self._retry_ops
+        }
+
+    @property
+    def rebuild_failures(self) -> int:
+        return int(self._rebuild_failures.value)
+
+    @property
+    def snapshot_failures(self) -> int:
+        return int(self._snapshot_failures.value)
+
+    @property
+    def wal_appends(self) -> int:
+        return int(self._wal_appends.value)
+
+    @property
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches if self.batches else 0.0
 
@@ -219,6 +280,11 @@ class ServerStats:
                 "rebuild_seconds": self.rebuild_seconds,
                 "generation_swaps": self.generation_swaps,
                 "snapshots_saved": self.snapshots_saved,
+                "shed": self.shed,
+                "retries": self.retries,
+                "rebuild_failures": self.rebuild_failures,
+                "snapshot_failures": self.snapshot_failures,
+                "wal_appends": self.wal_appends,
                 "queue_wait": _seconds_snapshot(self.queue_wait),
                 "service": _seconds_snapshot(self.service),
                 "latency": _seconds_snapshot(self.latency),

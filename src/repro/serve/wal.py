@@ -1,0 +1,311 @@
+"""Write-ahead durability for served updates.
+
+The server's in-memory journal makes rebuild swaps lossless, but a crash
+still lost every update since the last snapshot.  The
+:class:`WriteAheadLog` closes that hole: every acknowledged insert/delete
+is appended — and, under the default ``always`` fsync policy, fsynced —
+to an append-only log *before* the server acknowledges it, so recovery is
+
+    latest loadable snapshot  +  replay of the WAL tail
+
+(:meth:`IndexServer.from_snapshot` drives this).  Logs rotate per
+generation (``wal-NNNNNN.log`` next to the ``gen-NNNNNN.npz`` snapshots):
+a generation swap starts a fresh log, and once the new generation's
+snapshot is durably on disk the older logs are deleted.
+
+Record framing is self-checking: ``<u32 payload-length><u32 crc32>``
+followed by a JSON payload ``{"seq", "op", "p"}``.  A crash mid-append
+leaves a torn record at the tail; replay stops there — by the append
+protocol a torn record was never acknowledged, so dropping it is exactly
+right.  A bad record with *more* valid data behind it means real
+corruption, which replay reports via :class:`~repro.serve.errors.WALCorruption`
+unless told to salvage the readable prefix.
+
+Fault injection: :func:`repro.faults.fault_check` guards the append path
+(site ``wal.append``) — ``torn_write`` faults write half a record and
+fail, which is how the chaos tests produce torn tails deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.registry import InjectedFault, fault_check
+from repro.obs.metrics import get_registry
+from repro.serve.errors import WALCorruption
+
+__all__ = ["FSYNC_POLICIES", "WALRecord", "WriteAheadLog"]
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_WAL_RE = re.compile(r"^wal-(\d+)\.log$")
+_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Upper bound on one record's payload — a corrupt length field must not
+#: make replay allocate gigabytes.
+_MAX_PAYLOAD = 1 << 20
+
+INSERT = "insert"
+DELETE = "delete"
+_OPS = (INSERT, DELETE)
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One replayable update: global sequence number, op, and point."""
+
+    seq: int
+    op: str
+    point: np.ndarray
+
+
+def _encode(seq: int, op: str, point: np.ndarray) -> bytes:
+    payload = json.dumps(
+        {"seq": seq, "op": op, "p": [float(v) for v in point]}
+    ).encode()
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """An append-only, generation-rotated log of acknowledged updates.
+
+    Parameters
+    ----------
+    directory:
+        Where ``wal-NNNNNN.log`` files live (usually the snapshot
+        directory).  Created if missing.
+    generation:
+        The generation whose log to open; appends go to its file (in
+        append mode, so reopening after recovery extends the same log).
+    fsync_policy:
+        ``always`` — fsync every append before returning (an
+        acknowledged update survives an OS crash); ``batch`` — fsync
+        every ``batch_every`` appends (bounded loss window, much
+        cheaper); ``off`` — OS-buffered writes only (survives process
+        crashes, not machine crashes).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        generation: int = 0,
+        fsync_policy: str = "always",
+        batch_every: int = 64,
+    ) -> None:
+        if fsync_policy not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync_policy must be one of {FSYNC_POLICIES}, got {fsync_policy!r}"
+            )
+        if batch_every < 1:
+            raise ValueError(f"batch_every must be >= 1, got {batch_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync_policy
+        self.batch_every = batch_every
+        self._appends_counter = get_registry().counter("wal.appends")
+        self._unsynced = 0
+        # Sequence numbers are global across every log in the directory,
+        # so replay order is well defined across rotations and recoveries.
+        self._seq = 0
+        self._depth = 0
+        for gen in self.generations():
+            for record in self.replay_file(self.path_for(gen), salvage=True):
+                self._seq = max(self._seq, record.seq)
+        self.generation = int(generation)
+        self._file = open(self.path_for(self.generation), "ab")
+        self._depth = len(
+            self.replay_file(self.path_for(self.generation), salvage=True)
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_for(self, generation: int) -> Path:
+        return self.directory / f"wal-{generation:06d}.log"
+
+    @property
+    def path(self) -> Path:
+        return self.path_for(self.generation)
+
+    def generations(self) -> list[int]:
+        """Generation ids with a log file on disk, ascending."""
+        found = []
+        for entry in self.directory.iterdir():
+            match = _WAL_RE.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    @property
+    def depth(self) -> int:
+        """Records in the current generation's log (replay backlog)."""
+        return self._depth
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, op: str, point: np.ndarray) -> int:
+        """Durably record one update; returns its sequence number.
+
+        Raises before the caller acknowledges the update, so a failed or
+        torn append is never visible to clients as accepted.
+        """
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {_OPS}, got {op!r}")
+        if self._file.closed:
+            raise ValueError("write-ahead log is closed")
+        seq = self._seq + 1
+        record = _encode(seq, op, np.asarray(point, dtype=np.float64))
+        action = fault_check("wal.append")
+        if action == "torn_write":
+            # Crash mid-write: half the record reaches the OS, the append
+            # fails — replay must drop the torn tail.
+            self._file.write(record[: max(len(record) // 2, 1)])
+            self._file.flush()
+            raise InjectedFault("torn write injected at wal.append")
+        self._file.write(record)
+        self._file.flush()
+        if self.fsync_policy == "always":
+            os.fsync(self._file.fileno())
+        elif self.fsync_policy == "batch":
+            self._unsynced += 1
+            if self._unsynced >= self.batch_every:
+                os.fsync(self._file.fileno())
+                self._unsynced = 0
+        self._seq = seq
+        self._depth += 1
+        self._appends_counter.inc()
+        return seq
+
+    def sync(self) -> None:
+        """Flush and fsync whatever has been appended so far."""
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._unsynced = 0
+
+    # ------------------------------------------------------------------
+    # Rotation and pruning
+    # ------------------------------------------------------------------
+    def rotate(self, generation: int) -> None:
+        """Close the current log and start ``generation``'s (fresh deltas
+        against the new generation's base)."""
+        self.sync()
+        self._file.close()
+        self.generation = int(generation)
+        self._file = open(self.path_for(self.generation), "ab")
+        self._depth = 0
+
+    def remove_through(self, generation: int) -> list[Path]:
+        """Delete logs for generations **before** ``generation`` (call
+        only once that generation's snapshot is durably saved)."""
+        removed = []
+        for gen in self.generations():
+            if gen < generation and gen != self.generation:
+                path = self.path_for(gen)
+                path.unlink()
+                removed.append(path)
+        return removed
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay_file(cls, path: str | Path, salvage: bool = False) -> list[WALRecord]:
+        """Decode one log file's records in append order.
+
+        A torn/corrupt record at the physical tail is dropped silently
+        (it was never acknowledged).  A bad record *followed by more
+        data* is real corruption: raises :class:`WALCorruption`, or —
+        with ``salvage=True`` — keeps the valid prefix and counts the
+        loss on the ``wal.corrupt_records`` metric.
+        """
+        path = Path(path)
+        records: list[WALRecord] = []
+        if not path.exists():
+            return records
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            header = data[offset : offset + _HEADER.size]
+            if len(header) < _HEADER.size:
+                break  # torn header at the tail: the crash signature
+            length, crc = _HEADER.unpack(header)
+            corrupt = None
+            if length > _MAX_PAYLOAD:
+                corrupt = f"implausible record length {length}"
+            else:
+                payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+                if len(payload) < length:
+                    break  # torn payload at the tail: never acknowledged
+                if zlib.crc32(payload) != crc:
+                    corrupt = "crc mismatch"
+            if corrupt is not None:
+                # The record is physically complete but wrong — that is
+                # disk corruption, not a crash artefact.
+                if salvage:
+                    get_registry().counter("wal.corrupt_records").inc()
+                    break
+                raise WALCorruption(f"{corrupt} at byte {offset} of {path}")
+            try:
+                entry = json.loads(payload.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if salvage:
+                    get_registry().counter("wal.corrupt_records").inc()
+                    break
+                raise WALCorruption(
+                    f"undecodable payload at byte {offset} of {path}"
+                ) from exc
+            records.append(
+                WALRecord(
+                    seq=int(entry["seq"]),
+                    op=str(entry["op"]),
+                    point=np.asarray(entry["p"], dtype=np.float64),
+                )
+            )
+            offset += _HEADER.size + length
+        return records
+
+    @classmethod
+    def replay_dir(
+        cls, directory: str | Path, from_generation: int = 0, salvage: bool = False
+    ) -> list[WALRecord]:
+        """All records from generation ``from_generation`` on, in order
+        (ascending generation, then append order within each log)."""
+        directory = Path(directory)
+        records: list[WALRecord] = []
+        if not directory.exists():
+            return records
+        gens = []
+        for entry in directory.iterdir():
+            match = _WAL_RE.match(entry.name)
+            if match and int(match.group(1)) >= from_generation:
+                gens.append(int(match.group(1)))
+        for gen in sorted(gens):
+            records.extend(
+                cls.replay_file(directory / f"wal-{gen:06d}.log", salvage=salvage)
+            )
+        return records

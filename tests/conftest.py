@@ -16,6 +16,15 @@ from repro.indices.base import OriginalBuilder
 from repro.ml.trainer import TrainConfig
 
 
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No armed fault may leak between tests (the registry is process-global)."""
+    from repro.faults.registry import get_fault_registry
+
+    yield
+    get_fault_registry().reset()
+
+
 @pytest.fixture(scope="session")
 def osm_points() -> np.ndarray:
     """A 2 000-point OSM1-like data set shared across tests."""

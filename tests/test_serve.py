@@ -15,12 +15,21 @@ import pytest
 from repro.core.build_processor import ELSIModelBuilder
 from repro.core.config import ELSIConfig
 from repro.core.update_processor import UpdateProcessor
+from repro.faults import get_fault_registry
 from repro.indices import ZMIndex
 from repro.serve import (
+    DEGRADED,
+    HEALTHY,
+    READ_ONLY,
     IndexServer,
     LatencyHistogram,
+    RebuildFailed,
+    RequestTimeout,
     ServeConfig,
     ServeWorkload,
+    ServerClosed,
+    ServerOverloaded,
+    ServerReadOnly,
     SnapshotManager,
     run_baseline,
     run_closed_loop,
@@ -324,6 +333,270 @@ class TestSnapshots:
         assert restored.generation == gen
         with restored:
             assert restored.point_query(np.array([0.4, 0.6]))
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises_server_closed(self, built_index, osm_points):
+        server = _server(built_index)
+        with server:
+            server.point_query(osm_points[0])
+        with pytest.raises(ServerClosed):
+            server.submit_point(osm_points[0])
+        with pytest.raises(ServerClosed):
+            server.insert(np.array([0.5, 0.5]))
+        with pytest.raises(ServerClosed):
+            server.delete(np.array([0.5, 0.5]))
+
+    def test_start_after_close_raises(self, built_index):
+        server = _server(built_index)
+        server.start()
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.start()
+
+    def test_close_is_idempotent(self, built_index):
+        server = _server(built_index).start()
+        server.close()
+        server.close()
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_error(self, built_index, osm_points):
+        config = ServeConfig(
+            max_batch_size=4, max_wait_seconds=0.0, max_queue_depth=4
+        )
+        with _server(built_index, config=config) as server:
+            # Stall the single dispatcher inside one batch so the queue
+            # genuinely backs up behind it.
+            get_fault_registry().arm(
+                "serve.dispatch", kind="delay", delay_seconds=0.3
+            )
+            first = server.submit_point(osm_points[0])
+            time.sleep(0.05)
+            accepted = [first]
+            with pytest.raises(ServerOverloaded):
+                for i in range(1, 32):
+                    accepted.append(server.submit_point(osm_points[i]))
+            # Everything that *was* admitted still completes.
+            for reply in accepted:
+                reply.wait(20)
+            assert server.stats.shed["overloaded"] >= 1
+        snap = server.stats.snapshot()
+        assert snap["shed"]["overloaded"] >= 1
+
+    def test_aged_requests_shed_with_timeout(self, built_index, osm_points):
+        config = ServeConfig(
+            max_batch_size=4, max_wait_seconds=0.0, request_timeout_seconds=0.05
+        )
+        with _server(built_index, config=config) as server:
+            get_fault_registry().arm(
+                "serve.dispatch", kind="delay", delay_seconds=0.3
+            )
+            fresh = server.submit_point(osm_points[0])  # enters the stalled batch
+            time.sleep(0.1)
+            stale = server.submit_point(osm_points[1])  # queued behind the stall
+            assert fresh.wait(20) is True
+            with pytest.raises(RequestTimeout):
+                stale.wait(20)
+            assert server.stats.shed["timeout"] >= 1
+
+    def test_bad_admission_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            ServeConfig(request_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            ServeConfig(fsync_policy="sync-maybe")
+        with pytest.raises(ValueError):
+            ServeConfig(retry_base_delay=0.5, retry_max_delay=0.1)
+
+
+@pytest.fixture()
+def small_server_parts(osm_points):
+    config = ELSIConfig(train_epochs=60)
+    factory = lambda: ZMIndex(builder=ELSIModelBuilder(config, method="SP"))  # noqa: E731
+    index = factory().build(osm_points[:800])
+    return index, config, factory
+
+
+class TestFaultTolerance:
+    """Health walks healthy -> degraded -> read_only; retries converge."""
+
+    def _server(self, parts, **kwargs):
+        index, config, factory = parts
+        kwargs.setdefault(
+            "config",
+            ServeConfig(
+                auto_rebuild=False,
+                max_retries=2,
+                retry_base_delay=0.01,
+                retry_max_delay=0.05,
+            ),
+        )
+        return IndexServer(
+            index, elsi_config=config, index_factory=factory, **kwargs
+        )
+
+    def test_rebuild_retries_then_succeeds(self, small_server_parts):
+        server = self._server(small_server_parts)
+        server.insert(np.array([0.77, 0.77]))
+        get_fault_registry().arm("rebuild.worker", kind="error", times=1)
+        server.rebuild_now()
+        assert server.generation == 1
+        assert server.health == HEALTHY
+        assert server.stats.retries == {"rebuild": 1}
+        assert server.stats.rebuild_failures == 1
+        assert server.last_rebuild_error is None
+        server.close()
+
+    def test_exhausted_rebuild_budget_goes_read_only(self, small_server_parts):
+        server = self._server(
+            small_server_parts,
+            config=ServeConfig(
+                auto_rebuild=False, max_retries=1,
+                retry_base_delay=0.01, retry_max_delay=0.02,
+            ),
+        )
+        get_fault_registry().arm("rebuild.worker", kind="error", times=0)
+        with pytest.raises(RebuildFailed):
+            server.rebuild_now()
+        assert server.health == READ_ONLY
+        assert server.last_rebuild_error is not None
+        with pytest.raises(ServerReadOnly):
+            server.insert(np.array([0.5, 0.5]))
+        # Queries still flow in read-only mode.
+        with server:
+            assert server.point_query(np.array([0.5, 0.5])) in (True, False)
+            # A successful rebuild restores full health and write access.
+            get_fault_registry().disarm()
+            server.rebuild_now()
+            assert server.health == HEALTHY
+            server.insert(np.array([0.51, 0.51]))
+            assert server.point_query(np.array([0.51, 0.51]))
+
+    def test_snapshot_failure_degrades_but_serves(
+        self, small_server_parts, tmp_path
+    ):
+        server = self._server(
+            small_server_parts,
+            config=ServeConfig(auto_rebuild=False, max_retries=0),
+            snapshots=str(tmp_path),
+        )
+        generations_before = server.snapshots.generations()
+        get_fault_registry().arm("snapshot.write", kind="error", times=0)
+        server.rebuild_now()
+        assert server.generation == 1  # the rebuild itself landed
+        assert server.health == DEGRADED
+        assert server.stats.snapshot_failures >= 1
+        assert server.snapshots.generations() == generations_before
+        server.insert(np.array([0.6, 0.6]))  # degraded still accepts writes
+        server.close()
+
+    def test_rebuild_loop_surfaces_worker_errors(self, small_server_parts):
+        """Background-worker failures land on last_rebuild_error and the
+        health gauge instead of dying silently (the old behaviour)."""
+        index, config, factory = small_server_parts
+        server = IndexServer(
+            index,
+            ServeConfig(
+                rebuild_check_every=1, max_retries=0,
+                retry_base_delay=0.01, retry_max_delay=0.02,
+            ),
+            elsi_config=ELSIConfig(train_epochs=60, f_u=1),
+            index_factory=factory,
+        )
+        get_fault_registry().arm("rebuild.worker", kind="error", times=0)
+        with server:
+            rng = np.random.default_rng(11)
+            # Heavy drift concentrated in one corner trips to_rebuild().
+            try:
+                for p in rng.random((600, 2)) * 0.05:
+                    server.insert(p)
+            except ServerReadOnly:
+                pass
+            deadline = time.time() + 10.0
+            while server.last_rebuild_error is None and time.time() < deadline:
+                time.sleep(0.01)
+        assert server.last_rebuild_error is not None
+        assert server.health == READ_ONLY
+
+    def test_journal_replay_preserves_submission_order(self, small_server_parts):
+        """Interleaved insert/delete submitted while a rebuild is in
+        flight must apply in submission order after the swap."""
+        server = self._server(small_server_parts)
+        get_fault_registry().arm(
+            "rebuild.worker", kind="delay", delay_seconds=0.4
+        )
+        kept = np.array([0.91, 0.915])
+        dropped = np.array([0.92, 0.925])
+        worker = threading.Thread(target=server.rebuild_now)
+        worker.start()
+        deadline = time.time() + 5.0
+        while not server._rebuilding and time.time() < deadline:
+            time.sleep(0.001)
+        assert server._rebuilding, "rebuild window never opened"
+        # Same point, conflicting ops: only submission order disambiguates.
+        server.insert(kept)
+        assert server.delete(kept)
+        server.insert(kept)      # net effect: present
+        server.insert(dropped)
+        assert server.delete(dropped)  # net effect: absent
+        worker.join()
+        assert server.generation == 1
+        processor = server._gen.processor
+        assert processor.point_query(kept), "journal replay lost the final insert"
+        assert not processor.point_query(dropped), "journal replay resurrected a delete"
+        server.close()
+
+
+class TestSnapshotHardening:
+    def test_orphaned_tmp_files_cleaned_on_startup(self, tmp_path):
+        orphan = tmp_path / ".gen-000004.tmp.npz"
+        orphan.write_bytes(b"half a snapshot")
+        manager = SnapshotManager(tmp_path)
+        assert not orphan.exists()
+        assert manager.generations() == []
+
+    def test_load_falls_back_past_corrupt_snapshot(
+        self, built_index, osm_points, tmp_path
+    ):
+        manager = SnapshotManager(tmp_path)
+        manager.save(built_index, 0)
+        manager.save(built_index, 1)
+        manager.path_for(1).write_bytes(b"\x00" * 100)  # torn newest snapshot
+        loaded, gen = manager.load()
+        assert gen == 0
+        assert (tmp_path / "gen-000001.npz.corrupt").exists()
+        np.testing.assert_array_equal(
+            loaded.point_queries(osm_points[:20]),
+            built_index.point_queries(osm_points[:20]),
+        )
+
+    def test_explicit_generation_load_is_strict(self, built_index, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.save(built_index, 2)
+        manager.path_for(2).write_bytes(b"garbage")
+        with pytest.raises(Exception):
+            manager.load(2)
+        assert manager.path_for(2).exists()  # strict mode never quarantines
+
+    def test_all_corrupt_raises_not_found(self, built_index, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.save(built_index, 0)
+        manager.path_for(0).write_bytes(b"junk")
+        with pytest.raises(FileNotFoundError):
+            manager.load()
+
+    def test_prune_refuses_serving_generation(self, built_index, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        for gen in (1, 2, 5):
+            manager.save(built_index, gen)
+        manager.mark_serving(1)
+        removed = manager.prune(keep=1)
+        assert [p.name for p in removed] == ["gen-000002.npz"]
+        assert manager.generations() == [1, 5]
+        removed = manager.prune(keep=1, protect=5)
+        assert removed == []
 
 
 class TestDriver:

@@ -1,0 +1,243 @@
+"""Tests for write-ahead durability: framing, replay, crash recovery.
+
+The centrepiece is the randomized crash-recovery property test: a server
+with a WAL absorbs a randomized schedule of updates, snapshots, and
+rebuilds, "crashes" at random points (the server object is discarded;
+recovery may use the disk only), and after every recovery the server must
+report **every acknowledged update**, with query results bit-identical to
+an uncrashed reference.  The process-level version of the same property
+(``os._exit`` mid-stream) runs in ``benchmarks/chaos_smoke.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.core.update_processor import UpdateProcessor
+from repro.faults.chaos import make_schedule, verify_recovery
+from repro.indices import ZMIndex
+from repro.serve import (
+    FSYNC_POLICIES,
+    IndexServer,
+    ServeConfig,
+    WALCorruption,
+    WriteAheadLog,
+)
+
+
+def _append_n(wal: WriteAheadLog, n: int, start: float = 0.0) -> None:
+    for i in range(n):
+        wal.append("insert", np.array([start + i / 100.0, 0.5]))
+
+
+class TestFraming:
+    def test_append_replay_round_trip(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync_policy="off") as wal:
+            s1 = wal.append("insert", np.array([0.1, 0.2]))
+            s2 = wal.append("delete", np.array([0.3, 0.4]))
+        records = WriteAheadLog.replay_file(tmp_path / "wal-000000.log")
+        assert [(r.seq, r.op) for r in records] == [(s1, "insert"), (s2, "delete")]
+        np.testing.assert_array_equal(records[0].point, [0.1, 0.2])
+        assert records[0].point.dtype == np.float64
+
+    def test_bad_op_and_closed_log_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync_policy="off")
+        with pytest.raises(ValueError):
+            wal.append("upsert", np.array([0.1, 0.2]))
+        wal.close()
+        with pytest.raises(ValueError):
+            wal.append("insert", np.array([0.1, 0.2]))
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path, fsync_policy="sometimes")
+        for policy in FSYNC_POLICIES:
+            WriteAheadLog(tmp_path / policy, fsync_policy=policy).close()
+
+    def test_batch_policy_appends(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync_policy="batch", batch_every=2) as wal:
+            _append_n(wal, 5)
+        assert len(WriteAheadLog.replay_file(wal.path)) == 5
+
+
+class TestTornAndCorrupt:
+    def test_torn_tail_dropped_silently(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync_policy="off") as wal:
+            _append_n(wal, 3)
+            path = wal.path
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # crash mid-append: torn final record
+        records = WriteAheadLog.replay_file(path)
+        assert [r.seq for r in records] == [1, 2]
+
+    def test_torn_header_dropped_silently(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync_policy="off") as wal:
+            _append_n(wal, 2)
+            path = wal.path
+        path.write_bytes(path.read_bytes() + b"\x07\x00")  # 2 stray bytes
+        assert len(WriteAheadLog.replay_file(path)) == 2
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync_policy="off") as wal:
+            _append_n(wal, 3)
+            path = wal.path
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the *second* record: a complete-but-wrong
+        # record with valid data behind it is corruption, not a torn tail.
+        record_len = len(data) // 3
+        data[record_len + 12] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WALCorruption):
+            WriteAheadLog.replay_file(path)
+        salvaged = WriteAheadLog.replay_file(path, salvage=True)
+        assert [r.seq for r in salvaged] == [1]
+
+    def test_implausible_length_is_corruption(self, tmp_path):
+        path = tmp_path / "wal-000000.log"
+        path.write_bytes(b"\xff\xff\xff\x7f" + b"\x00" * 64)
+        with pytest.raises(WALCorruption):
+            WriteAheadLog.replay_file(path)
+        assert WriteAheadLog.replay_file(path, salvage=True) == []
+
+
+class TestRotation:
+    def test_seq_continues_across_rotations_and_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync_policy="off")
+        _append_n(wal, 3)
+        wal.rotate(1)
+        assert wal.depth == 0
+        _append_n(wal, 2)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path, generation=1, fsync_policy="off")
+        assert reopened.last_seq == 5
+        assert reopened.depth == 2
+        seq = reopened.append("insert", np.array([0.9, 0.9]))
+        reopened.close()
+        assert seq == 6
+        records = WriteAheadLog.replay_dir(tmp_path)
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5, 6]
+
+    def test_replay_dir_orders_by_generation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync_policy="off")
+        _append_n(wal, 2)
+        wal.rotate(2)
+        _append_n(wal, 2)
+        wal.close()
+        records = WriteAheadLog.replay_dir(tmp_path, from_generation=2)
+        assert [r.seq for r in records] == [3, 4]
+
+    def test_remove_through_spares_current(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync_policy="off")
+        _append_n(wal, 1)
+        wal.rotate(1)
+        _append_n(wal, 1)
+        wal.rotate(2)
+        removed = wal.remove_through(2)
+        wal.close()
+        assert [p.name for p in removed] == ["wal-000000.log", "wal-000001.log"]
+        assert wal.generations() == [2]
+
+
+@pytest.fixture(scope="module")
+def small_index(osm_points):
+    config = ELSIConfig(train_epochs=60)
+    return ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(
+        osm_points[:600]
+    )
+
+
+class TestCrashRecovery:
+    """Acknowledged updates survive crashes: snapshot + WAL tail."""
+
+    def _open(self, snapshots, index=None, **kwargs):
+        config = ELSIConfig(train_epochs=60)
+        factory = lambda: ZMIndex(builder=ELSIModelBuilder(config, method="SP"))  # noqa: E731
+        common = dict(
+            config=ServeConfig(auto_rebuild=False),
+            elsi_config=config,
+            index_factory=factory,
+            wal=True,
+            **kwargs,
+        )
+        if index is not None:
+            return IndexServer(index, snapshots=snapshots, **common)
+        return IndexServer.from_snapshot(snapshots, **common)
+
+    def test_recovery_without_rebuild(self, small_index, tmp_path):
+        server = self._open(str(tmp_path), index=small_index)
+        fresh = np.array([0.123, 0.456])
+        server.insert(fresh)
+        server.close()
+        restored = self._open(str(tmp_path))
+        with restored:
+            assert restored.generation == 0
+            assert restored.point_query(fresh)
+        restored.close()
+
+    def test_recovery_after_rebuild_and_tail(self, small_index, tmp_path):
+        server = self._open(str(tmp_path), index=small_index)
+        before = np.array([0.21, 0.22])
+        server.insert(before)
+        server.rebuild_now()
+        after = np.array([0.31, 0.32])
+        server.insert(after)
+        gen = server.generation
+        server.close()
+        restored = self._open(str(tmp_path))
+        with restored:
+            assert restored.generation == gen
+            assert restored.point_query(before)
+            assert restored.point_query(after)
+        restored.close()
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_crash_recovery_property(self, small_index, osm_points, tmp_path, seed):
+        """Randomized schedule of updates/rebuilds/crashes: after every
+        recovery the server reports every acknowledged update, and query
+        results are bit-identical to an uncrashed reference."""
+        base = osm_points[:600]
+        schedule = make_schedule(base, 36, seed)
+        rng = np.random.default_rng(seed)
+        crash_points = sorted(
+            int(c) for c in rng.choice(np.arange(4, 36), size=2, replace=False)
+        )
+        rebuild_at = int(rng.integers(2, 36))
+
+        server = self._open(str(tmp_path), index=small_index)
+        reference = UpdateProcessor(small_index, ELSIConfig(train_epochs=60))
+        applied = 0
+        try:
+            for i, (op, point) in enumerate(schedule):
+                if i == rebuild_at:
+                    server.rebuild_now()
+                if i in crash_points:
+                    # Crash: the old handle is gone, recovery reads disk.
+                    server.close()
+                    server = self._open(str(tmp_path))
+                    m = verify_recovery(
+                        base, schedule, applied,
+                        server._gen.processor.current_points(),
+                    )
+                    assert m == applied, "recovered more/less than acknowledged"
+                if op == "insert":
+                    server.insert(point)
+                    reference.insert(point)
+                else:
+                    server.delete(point)
+                    reference.delete(point)
+                applied += 1
+            server.close()
+            server = self._open(str(tmp_path))
+            m = verify_recovery(
+                base, schedule, applied, server._gen.processor.current_points()
+            )
+            assert m == len(schedule)
+            # Bit-identical query results vs the uncrashed reference.
+            probes = np.vstack([base[:50], [p for _, p in schedule]])
+            np.testing.assert_array_equal(
+                server._gen.processor.point_queries(probes),
+                reference.point_queries(probes),
+            )
+        finally:
+            server.close()
