@@ -271,9 +271,19 @@ class IndexServer:
         self._stop = threading.Event()
         self._rebuild_wanted = threading.Event()
         self._update_lock = threading.Lock()
+        # WAL appends (including their fsync) serialize on their own lock
+        # so a slow fsync never blocks the generation-swap critical
+        # section.  Lock order where nested: _update_lock -> _wal_lock.
+        self._wal_lock = threading.Lock()
+        # Serializes submit()'s closed-check-then-enqueue against close()
+        # so no request can slip into the queue after shutdown drains it.
+        self._lifecycle_lock = threading.Lock()
         self._rebuild_mutex = threading.Lock()
         self._rebuilding = False
-        self._pending_ops: list[tuple[str, np.ndarray]] = []
+        # (op, point, wal seq or None): ops applied while a rebuild was in
+        # flight, replayed into the successor generation before the swap
+        # and carried into its WAL under their original sequence numbers.
+        self._pending_ops: list[tuple[str, np.ndarray, "int | None"]] = []
         self._updates_since_check = 0
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -315,6 +325,7 @@ class IndexServer:
         snapshots: "SnapshotManager | str",
         generation: int | None = None,
         wal: "str | bool | None" = None,
+        salvage: bool = False,
         **kwargs,
     ) -> "IndexServer":
         """Open a server on the latest *loadable* snapshot (+ WAL tail).
@@ -325,6 +336,18 @@ class IndexServer:
         every write-ahead-log record from the loaded generation on is
         replayed in sequence order, so the recovered server reports every
         update that was acknowledged before the crash.
+
+        Replay is strict by default: mid-file corruption of acknowledged
+        records raises :class:`~repro.serve.errors.WALCorruption` rather
+        than silently recovering without them (a torn *tail* is always
+        dropped — it was never acknowledged).  ``salvage=True`` opts into
+        best-effort recovery instead: the readable prefix of a corrupt
+        log is kept, the loss is counted on ``wal.corrupt_records``, and
+        the recovered server comes up ``degraded``.  The server also
+        comes up ``degraded`` when it had to fall back past the WAL's
+        retention horizon (the fallback generation's log was already
+        compacted away, so its deltas are unrecoverable — counted on
+        ``wal.coverage_gaps``).
         """
         if not isinstance(snapshots, SnapshotManager):
             snapshots = SnapshotManager(snapshots)
@@ -332,19 +355,25 @@ class IndexServer:
         if not wal:
             return cls(index, snapshots=snapshots, generation=gen_id, **kwargs)
         wal_dir = snapshots.directory if wal is True else Path(wal)
+        corrupt_counter = get_registry().counter("wal.corrupt_records")
+        corrupt_before = corrupt_counter.value
         records = WriteAheadLog.replay_dir(
-            wal_dir, from_generation=gen_id, salvage=True
+            wal_dir, from_generation=gen_id, salvage=salvage
         )
+        salvage_dropped = corrupt_counter.value - corrupt_before
         # Reopen at the highest generation any surviving log reached, so
         # new appends land *after* every replayed record in replay order.
-        open_gen = gen_id
-        for entry in wal_dir.iterdir():
-            name = entry.name
-            if name.startswith("wal-") and name.endswith(".log"):
-                try:
-                    open_gen = max(open_gen, int(name[4:-4]))
-                except ValueError:
-                    continue
+        wal_gens = WriteAheadLog.generations_in(wal_dir)
+        open_gen = max([gen_id, *wal_gens])
+        # Every generation from the loaded snapshot to the newest log
+        # must still have its log on disk; a gap means compaction already
+        # deleted deltas this fallback needed.  (No logs at all is not a
+        # gap — the directory may simply predate the WAL.)
+        coverage_gap = (
+            [g for g in range(gen_id, open_gen + 1) if g not in wal_gens]
+            if wal_gens
+            else []
+        )
         server = cls(
             index, snapshots=snapshots, generation=open_gen, wal=str(wal_dir), **kwargs
         )
@@ -354,6 +383,11 @@ class IndexServer:
                 processor.insert(record.point)
             else:
                 processor.delete(record.point)
+        if coverage_gap:
+            get_registry().counter("wal.coverage_gaps").inc(len(coverage_gap))
+            server._set_health(DEGRADED)
+        if salvage_dropped:
+            server._set_health(DEGRADED)
         return server
 
     def start(self) -> "IndexServer":
@@ -380,9 +414,10 @@ class IndexServer:
         """Stop workers; queued requests are served before shutdown.
         After ``close()`` the server is dead: submissions and updates
         raise :class:`~repro.serve.errors.ServerClosed`."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._started:
             self._stop.set()
             for _ in range(self.config.worker_threads):
@@ -392,6 +427,19 @@ class IndexServer:
                 t.join(timeout=30.0)
             self._threads = []
             self._started = False
+        # Reject whatever is still queued (a worker that timed out above,
+        # or leftover shutdown pills interleaved with late requests) so
+        # no Reply is left to block until its wait() deadline.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN and not item.reply.done():
+                item.reply.reject(
+                    ServerClosed("server closed before this request was served")
+                )
+                self.stats.note_shed("closed")
         if self.wal is not None:
             self.wal.close()
 
@@ -450,21 +498,27 @@ class IndexServer:
     # Request submission (async) and sync conveniences
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> Reply:
-        if self._closed:
-            raise ServerClosed(
-                "server is closed; submissions after close() are rejected"
-            )
-        if not self._started:
-            raise RuntimeError("server is not started; use start() or a with-block")
-        depth = self.config.max_queue_depth
-        if depth and self._queue.qsize() >= depth:
-            self.stats.note_shed("overloaded")
-            raise ServerOverloaded(
-                f"request queue is at capacity ({depth}); shedding instead of "
-                "queueing unboundedly"
-            )
-        self.stats.note_submit(request.kind)
-        self._queue.put(request)
+        # The closed check and the enqueue happen under one lock shared
+        # with close(), so a request can never land in the queue after
+        # shutdown has drained it (it would hang until its wait timeout).
+        with self._lifecycle_lock:
+            if self._closed:
+                raise ServerClosed(
+                    "server is closed; submissions after close() are rejected"
+                )
+            if not self._started:
+                raise RuntimeError(
+                    "server is not started; use start() or a with-block"
+                )
+            depth = self.config.max_queue_depth
+            if depth and self._queue.qsize() >= depth:
+                self.stats.note_shed("overloaded")
+                raise ServerOverloaded(
+                    f"request queue is at capacity ({depth}); shedding instead of "
+                    "queueing unboundedly"
+                )
+            self.stats.note_submit(request.kind)
+            self._queue.put(request)
         return request.reply
 
     def submit_point(self, point: np.ndarray) -> Reply:
@@ -516,13 +570,26 @@ class IndexServer:
                 "server is read-only (rebuild retry budget exhausted); "
                 "updates are rejected until a rebuild succeeds"
             )
+        seq = None
+        if self.wal is not None:
+            # Append (and fsync, per policy) BEFORE applying: if this
+            # raises, the update was never acknowledged and is simply
+            # absent everywhere.  The append runs under its own lock so
+            # a slow fsync never blocks the swap critical section.
+            with self._wal_lock:
+                wal_gen = self.wal.generation
+                seq = self.wal.append(op, point)
+            self.stats.note_wal_append()
         with self._update_lock:
             if self.wal is not None:
-                # Append (and fsync, per policy) BEFORE applying: if this
-                # raises, the update was never acknowledged and is simply
-                # absent everywhere.
-                self.wal.append(op, point)
-                self.stats.note_wal_append()
+                if self.wal.generation != wal_gen:
+                    # A generation swap rotated the log between our append
+                    # and the apply, so the record sits only in the old
+                    # log and missed the swap's carry.  Re-append it to
+                    # the new log under the same sequence number (replay
+                    # deduplicates) so compaction cannot drop it.
+                    with self._wal_lock:
+                        self.wal.append(op, point, seq=seq)
                 self._wal_gauge.set(self.wal.depth)
             processor = self._gen.processor
             if op == "insert":
@@ -530,7 +597,7 @@ class IndexServer:
             else:
                 result = processor.delete(point)
             if self._rebuilding:
-                self._pending_ops.append((op, point))
+                self._pending_ops.append((op, point, seq))
                 self._journal_gauge.set(len(self._pending_ops))
             self._updates_since_check += 1
             due = self._updates_since_check >= self.config.rebuild_check_every
@@ -717,9 +784,11 @@ class IndexServer:
             try:
                 self.save_snapshot()
                 if self.wal is not None:
-                    # Older WAL generations are now redundant: the new
-                    # snapshot durably contains everything they recorded.
-                    self.wal.remove_through(self._gen.gen_id)
+                    # Compact, but keep the *previous* generation's log:
+                    # if this generation's snapshot later turns out to be
+                    # unloadable, recovery falls back to the previous
+                    # snapshot and still needs its full WAL delta.
+                    self.wal.remove_through(self._gen.gen_id - 1)
             except SnapshotFailed:
                 # The rebuild itself succeeded — keep serving, but flag
                 # the lost durability compaction: recovery still works
@@ -746,10 +815,11 @@ class IndexServer:
                 swap_started = time.perf_counter()
                 with _span("serve.rebuild.swap") as swap_span:
                     with self._update_lock:
-                        depth = len(self._pending_ops)
+                        pending = self._pending_ops
+                        depth = len(pending)
                         swap_span.set(journal_depth=depth)
                         with _span("serve.rebuild.replay", journal_depth=depth):
-                            for op, p in self._pending_ops:
+                            for op, p, _seq in pending:
                                 if op == "insert":
                                     new_processor.insert(p)
                                 else:
@@ -758,11 +828,21 @@ class IndexServer:
                         self._gen = Generation(old.gen_id + 1, new_processor)
                         self._gen_swapped_at = time.time()
                         if self.wal is not None:
-                            # Fresh deltas against the new generation's
-                            # base; the old log stays on disk until the
-                            # new snapshot is durably saved.
-                            self.wal.rotate(old.gen_id + 1)
-                            self._wal_gauge.set(0)
+                            with self._wal_lock:
+                                # Fresh deltas against the new generation's
+                                # base — which was built from the points
+                                # captured *before* these journalled ops, so
+                                # they must be carried into the new log (under
+                                # their original sequence numbers; replay
+                                # deduplicates against the retained old log)
+                                # or compaction would drop acknowledged,
+                                # fsynced updates.
+                                self.wal.rotate(old.gen_id + 1)
+                                for op, p, seq in pending:
+                                    self.wal.append(op, p, seq=seq, sync=False)
+                                if pending:
+                                    self.wal.sync()
+                            self._wal_gauge.set(self.wal.depth)
                         if self.snapshots is not None:
                             self.snapshots.mark_serving(old.gen_id + 1)
                 self._swap_hist.record(time.perf_counter() - swap_started)

@@ -13,8 +13,12 @@ The manager is also the recovery loader's first line of defence:
 - a snapshot that fails to load (torn, truncated, or otherwise corrupt)
   is *quarantined* — renamed to ``gen-NNNNNN.npz.corrupt`` — and
   :meth:`load` falls back to the previous generation instead of raising,
-  so one bad file never takes recovery down (the WAL tail replays the
-  difference, see :mod:`repro.serve.wal`);
+  so one bad file never takes recovery down.  The fallback is lossless
+  as long as the fallback generation's WAL is still on disk — which WAL
+  compaction guarantees one generation deep by always retaining the
+  previous generation's log (see :mod:`repro.serve.wal`); a fallback
+  past that horizon makes ``IndexServer.from_snapshot`` come up
+  ``degraded`` instead of silently missing deltas;
 - :meth:`prune` refuses to delete the generation currently being served
   (:meth:`mark_serving`) or an explicitly protected one.
 

@@ -10,8 +10,15 @@ to an append-only log *before* the server acknowledges it, so recovery is
 
 (:meth:`IndexServer.from_snapshot` drives this).  Logs rotate per
 generation (``wal-NNNNNN.log`` next to the ``gen-NNNNNN.npz`` snapshots):
-a generation swap starts a fresh log, and once the new generation's
-snapshot is durably on disk the older logs are deleted.
+a generation swap starts a fresh log and *carries* the updates that
+arrived during the rebuild into it (re-appended with their original
+sequence numbers — the new snapshot holds only the base index, so those
+records must outlive the old log).  Once the new generation's snapshot
+is durably on disk, logs older than the *previous* generation are
+deleted; the previous generation's log is retained so a fallback to the
+previous snapshot still has its full delta.  Because a carried record
+exists in two logs, :meth:`WriteAheadLog.replay_dir` deduplicates by
+sequence number — the first occurrence wins.
 
 Record framing is self-checking: ``<u32 payload-length><u32 crc32>``
 followed by a JSON payload ``{"seq", "op", "p"}``.  A crash mid-append
@@ -135,14 +142,22 @@ class WriteAheadLog:
     def path(self) -> Path:
         return self.path_for(self.generation)
 
-    def generations(self) -> list[int]:
-        """Generation ids with a log file on disk, ascending."""
+    @staticmethod
+    def generations_in(directory: str | Path) -> list[int]:
+        """Generation ids with a log file in ``directory``, ascending."""
+        directory = Path(directory)
+        if not directory.exists():
+            return []
         found = []
-        for entry in self.directory.iterdir():
+        for entry in directory.iterdir():
             match = _WAL_RE.match(entry.name)
             if match:
                 found.append(int(match.group(1)))
         return sorted(found)
+
+    def generations(self) -> list[int]:
+        """Generation ids with a log file on disk, ascending."""
+        return self.generations_in(self.directory)
 
     @property
     def depth(self) -> int:
@@ -156,17 +171,30 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def append(self, op: str, point: np.ndarray) -> int:
+    def append(
+        self,
+        op: str,
+        point: np.ndarray,
+        seq: "int | None" = None,
+        sync: bool = True,
+    ) -> int:
         """Durably record one update; returns its sequence number.
 
         Raises before the caller acknowledges the update, so a failed or
         torn append is never visible to clients as accepted.
+
+        ``seq`` re-records an already-sequenced update under its original
+        number (a *carry* across a rotation — see the module docs; replay
+        deduplicates, first occurrence wins).  ``sync=False`` skips the
+        per-append fsync so a run of carries can be flushed with one
+        :meth:`sync` call.
         """
         if op not in _OPS:
             raise ValueError(f"op must be one of {_OPS}, got {op!r}")
         if self._file.closed:
             raise ValueError("write-ahead log is closed")
-        seq = self._seq + 1
+        if seq is None:
+            seq = self._seq + 1
         record = _encode(seq, op, np.asarray(point, dtype=np.float64))
         action = fault_check("wal.append")
         if action == "torn_write":
@@ -177,14 +205,16 @@ class WriteAheadLog:
             raise InjectedFault("torn write injected at wal.append")
         self._file.write(record)
         self._file.flush()
-        if self.fsync_policy == "always":
+        if not sync:
+            self._unsynced += 1
+        elif self.fsync_policy == "always":
             os.fsync(self._file.fileno())
         elif self.fsync_policy == "batch":
             self._unsynced += 1
             if self._unsynced >= self.batch_every:
                 os.fsync(self._file.fileno())
                 self._unsynced = 0
-        self._seq = seq
+        self._seq = max(self._seq, seq)
         self._depth += 1
         self._appends_counter.inc()
         return seq
@@ -209,8 +239,14 @@ class WriteAheadLog:
         self._depth = 0
 
     def remove_through(self, generation: int) -> list[Path]:
-        """Delete logs for generations **before** ``generation`` (call
-        only once that generation's snapshot is durably saved)."""
+        """Delete logs for generations **before** ``generation``.
+
+        Call only once every snapshot from ``generation`` on is durably
+        saved.  The server compacts with ``generation = current - 1`` so
+        the previous generation's log survives: a fallback to the
+        previous snapshot (after quarantining a corrupt newest one)
+        still has the full delta to replay.
+        """
         removed = []
         for gen in self.generations():
             if gen < generation and gen != self.generation:
@@ -294,18 +330,22 @@ class WriteAheadLog:
         cls, directory: str | Path, from_generation: int = 0, salvage: bool = False
     ) -> list[WALRecord]:
         """All records from generation ``from_generation`` on, in order
-        (ascending generation, then append order within each log)."""
+        (ascending generation, then append order within each log).
+
+        Records carried across a rotation exist in two logs under the
+        same sequence number; only the first occurrence is returned.
+        """
         directory = Path(directory)
         records: list[WALRecord] = []
-        if not directory.exists():
-            return records
-        gens = []
-        for entry in directory.iterdir():
-            match = _WAL_RE.match(entry.name)
-            if match and int(match.group(1)) >= from_generation:
-                gens.append(int(match.group(1)))
-        for gen in sorted(gens):
-            records.extend(
-                cls.replay_file(directory / f"wal-{gen:06d}.log", salvage=salvage)
-            )
+        seen: set[int] = set()
+        for gen in cls.generations_in(directory):
+            if gen < from_generation:
+                continue
+            for record in cls.replay_file(
+                directory / f"wal-{gen:06d}.log", salvage=salvage
+            ):
+                if record.seq in seen:
+                    continue
+                seen.add(record.seq)
+                records.append(record)
         return records

@@ -359,6 +359,38 @@ class TestLifecycle:
         server.close()
         server.close()
 
+    def test_submit_close_race_never_strands_a_reply(self, built_index, osm_points):
+        """Submissions racing close() must either raise ServerClosed or
+        get a completed reply — never a Reply left to hang forever."""
+        server = _server(built_index).start()
+        replies: list = []
+        lock = threading.Lock()
+
+        def spam():
+            for point in osm_points[:200]:
+                try:
+                    reply = server.submit_point(point)
+                except ServerClosed:
+                    return
+                with lock:
+                    replies.append(reply)
+
+        threads = [threading.Thread(target=spam) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)
+        server.close()
+        for t in threads:
+            t.join()
+        assert replies
+        for reply in replies:
+            try:
+                # A TimeoutError here means the request was enqueued after
+                # shutdown and stranded — the race this test guards.
+                reply.wait(timeout=10.0)
+            except ServerClosed:
+                pass
+
 
 class TestAdmissionControl:
     def test_overload_sheds_with_typed_error(self, built_index, osm_points):

@@ -9,16 +9,23 @@ an uncrashed reference.  The process-level version of the same property
 (``os._exit`` mid-stream) runs in ``benchmarks/chaos_smoke.py``.
 """
 
+import threading
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.build_processor import ELSIModelBuilder
 from repro.core.config import ELSIConfig
 from repro.core.update_processor import UpdateProcessor
+from repro.faults import get_fault_registry
 from repro.faults.chaos import make_schedule, verify_recovery
 from repro.indices import ZMIndex
 from repro.serve import (
+    DEGRADED,
     FSYNC_POLICIES,
+    HEALTHY,
     IndexServer,
     ServeConfig,
     WALCorruption,
@@ -127,6 +134,22 @@ class TestRotation:
         records = WriteAheadLog.replay_dir(tmp_path, from_generation=2)
         assert [r.seq for r in records] == [3, 4]
 
+    def test_carried_records_dedup_on_replay(self, tmp_path):
+        """A record carried across a rotation (re-appended under its
+        original seq) replays exactly once, whichever logs survive."""
+        wal = WriteAheadLog(tmp_path, fsync_policy="off")
+        _append_n(wal, 3)  # seqs 1..3 in gen 0
+        wal.rotate(1)
+        wal.append("insert", np.array([0.02, 0.5]), seq=3, sync=False)
+        wal.sync()
+        assert wal.append("insert", np.array([0.9, 0.9])) == 4
+        wal.close()
+        # Both logs present: the carried seq 3 appears once, from gen 0.
+        assert [r.seq for r in WriteAheadLog.replay_dir(tmp_path)] == [1, 2, 3, 4]
+        # Old log compacted away: the carried copy in gen 1 covers seq 3.
+        tail = WriteAheadLog.replay_dir(tmp_path, from_generation=1)
+        assert [r.seq for r in tail] == [3, 4]
+
     def test_remove_through_spares_current(self, tmp_path):
         wal = WriteAheadLog(tmp_path, fsync_policy="off")
         _append_n(wal, 1)
@@ -189,6 +212,93 @@ class TestCrashRecovery:
             assert restored.generation == gen
             assert restored.point_query(before)
             assert restored.point_query(after)
+        restored.close()
+
+    def test_during_rebuild_update_survives_recovery(self, small_index, tmp_path):
+        """An update acknowledged while a rebuild is in flight must be
+        carried into the new generation's WAL: the post-rebuild snapshot
+        holds only the base index, so without the carry a crash after
+        compaction silently drops the fsynced, acknowledged update."""
+        server = self._open(str(tmp_path), index=small_index)
+        get_fault_registry().arm(
+            "rebuild.worker", kind="delay", times=1, delay_seconds=0.4
+        )
+        worker = threading.Thread(target=server.rebuild_now)
+        worker.start()
+        deadline = time.time() + 10.0
+        while not server._rebuilding and time.time() < deadline:
+            time.sleep(0.005)
+        assert server._rebuilding, "rebuild never entered its in-flight window"
+        mid = np.array([0.777, 0.888])
+        server.insert(mid)  # acknowledged while the rebuild is in flight
+        worker.join()
+        assert server.generation == 1
+        server.close()
+        # The new generation's log must contain the carried record — the
+        # gen-1 snapshot alone does not include it.
+        carried = WriteAheadLog.replay_file(Path(tmp_path) / "wal-000001.log")
+        assert any(np.array_equal(r.point, mid) for r in carried)
+        restored = self._open(str(tmp_path))
+        with restored:
+            assert restored.generation == 1
+            assert restored.point_query(mid)
+        restored.close()
+
+    def test_fallback_to_previous_generation_after_compaction(
+        self, small_index, tmp_path
+    ):
+        """If the newest snapshot is unloadable, recovery falls back one
+        generation — and the retained previous-generation WAL makes the
+        fallback lossless (carried records dedup by seq)."""
+        server = self._open(str(tmp_path), index=small_index)
+        before = np.array([0.21, 0.22])
+        server.insert(before)
+        server.rebuild_now()  # gen 1: snapshot saved, wal-0 retained
+        after = np.array([0.31, 0.32])
+        server.insert(after)
+        server.close()
+        assert (Path(tmp_path) / "wal-000000.log").exists()
+        snap = Path(tmp_path) / "gen-000001.npz"
+        snap.write_bytes(snap.read_bytes()[: snap.stat().st_size // 2])
+        restored = self._open(str(tmp_path))
+        with restored:
+            assert restored.health == HEALTHY  # coverage intact: no gap
+            assert restored.point_query(before)
+            assert restored.point_query(after)
+        restored.close()
+
+    def test_strict_replay_raises_salvage_degrades(self, small_index, tmp_path):
+        """Mid-file corruption of acknowledged records fails recovery
+        loudly by default; salvage=True recovers best-effort but the
+        server comes up degraded instead of reporting clean health."""
+        server = self._open(str(tmp_path), index=small_index)
+        server.insert(np.array([0.11, 0.12]))
+        server.insert(np.array([0.13, 0.14]))
+        server.close()
+        wal_path = Path(tmp_path) / "wal-000000.log"
+        data = bytearray(wal_path.read_bytes())
+        data[12] ^= 0xFF  # corrupt the first record's payload, not the tail
+        wal_path.write_bytes(bytes(data))
+        with pytest.raises(WALCorruption):
+            self._open(str(tmp_path))
+        restored = self._open(str(tmp_path), salvage=True)
+        assert restored.health == DEGRADED
+        restored.close()
+
+    def test_fallback_past_wal_horizon_degrades(self, small_index, tmp_path):
+        """Falling back to a generation whose WAL was already compacted
+        away cannot be lossless — recovery must say so via health."""
+        server = self._open(str(tmp_path), index=small_index)
+        server.insert(np.array([0.41, 0.42]))
+        server.rebuild_now()  # gen 1
+        server.close()
+        # Simulate over-aggressive compaction plus a bad newest snapshot:
+        # the fallback generation's deltas are gone.
+        (Path(tmp_path) / "wal-000000.log").unlink()
+        snap = Path(tmp_path) / "gen-000001.npz"
+        snap.write_bytes(snap.read_bytes()[: snap.stat().st_size // 2])
+        restored = self._open(str(tmp_path))
+        assert restored.health == DEGRADED
         restored.close()
 
     @pytest.mark.parametrize("seed", [0, 7])
