@@ -1,0 +1,200 @@
+"""Shard scaling benchmark: scatter-gather routing at N = 1, 2, 4 shards.
+
+Builds one dataset, then serves the identical point/window/kNN workload
+through sharded clusters of increasing width (each shard a separate
+worker process with its own IndexServer, WAL, and snapshots) and through
+two single-process baselines:
+
+- ``closed_loop`` — the acceptance baseline: one in-process IndexServer
+  driven by the closed-loop driver (8 clients, pipeline 128), i.e. the
+  throughput a single unsharded server sustains on the same workload.
+- ``single_batch`` — the same server answering the workload through one
+  ``submit_point_batch`` call, isolating how much of the sharded tier's
+  advantage comes from batching alone vs from partitioned serving.
+
+The headline number is ``speedup_point_4x_vs_closed_loop`` — aggregate
+point-query throughput of the 4-shard cluster over the single-process
+closed-loop server.  Writes machine-readable ``BENCH_shard.json``.
+
+Run from the repo root (scale via ``REPRO_SCALE=smoke|default|large``):
+
+    PYTHONPATH=src REPRO_SCALE=smoke python benchmarks/bench_shard_scaling.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import ExperimentScale
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import ZMIndex
+from repro.queries.workload import window_workload
+from repro.serve import IndexServer, ServeConfig, ServeWorkload, run_closed_loop
+from repro.shard import build_cluster
+
+N_SHARDS_SWEEP = (1, 2, 4)
+REPEATS = 3
+CLIENTS = 8
+PIPELINE = 128
+K = 10
+
+
+def _workloads(points: np.ndarray, scale: ExperimentScale):
+    rng = np.random.default_rng(7)
+    n_requests = max(scale.n_point_queries * 100, 20_000)
+    probes = points[rng.integers(0, len(points), size=n_requests)]
+    windows = [
+        q.window
+        for q in window_workload(points, scale.n_window_queries, 1e-3, seed=11)
+    ]
+    knn_points = points[rng.integers(0, len(points), size=scale.n_knn_queries)]
+    return probes, windows, knn_points
+
+
+def _best_qps(fn, n_items: int, repeats: int = REPEATS) -> float:
+    """Best-of-N throughput of ``fn`` answering ``n_items`` queries."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = max(best, n_items / (time.perf_counter() - start))
+    return best
+
+
+def _fleet_p99(stats: dict) -> float:
+    """Fleet-wide request-latency p99 from a merged metrics export."""
+    for entry in stats.get("serve.request_latency_seconds", ()):
+        if not entry["labels"]:
+            return entry["value"]["p99"]
+    return float("nan")
+
+
+def _bench_baselines(points, probes, scale) -> dict:
+    config = ELSIConfig(train_epochs=scale.train_epochs)
+    index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(points)
+    serve_config = ServeConfig(max_wait_seconds=0.0)
+    with IndexServer(index, serve_config, elsi_config=config) as server:
+        workload = ServeWorkload.points_only(probes)
+        result = run_closed_loop(
+            server, workload, clients=CLIENTS, pipeline=PIPELINE
+        )
+        closed_loop = result.throughput
+        single_batch = _best_qps(
+            lambda: server.submit_point_batch(probes).wait(300.0), len(probes)
+        )
+    return {
+        "closed_loop": closed_loop,
+        "closed_loop_errors": result.errors,
+        "single_batch": single_batch,
+    }
+
+
+def _bench_cluster(
+    points, probes, windows, knn_points, n_shards, scale, root: Path
+) -> dict:
+    router = build_cluster(
+        points,
+        root / f"cluster-{n_shards}",
+        n_shards=n_shards,
+        elsi={"train_epochs": scale.train_epochs, "seed": 0},
+        serve={"max_wait_seconds": 0.0},
+    )
+    with router:
+        point_qps = _best_qps(lambda: router.point_queries(probes), len(probes))
+        window_qps = _best_qps(
+            lambda: router.window_queries(windows), len(windows)
+        )
+        knn_qps = _best_qps(
+            lambda: router.knn_queries(knn_points, K), len(knn_points)
+        )
+        stats = router.stats_snapshot()
+        health = router.health_summary()["overall"]
+    return {
+        "n_shards": n_shards,
+        "point_qps": point_qps,
+        "window_qps": window_qps,
+        "knn_qps": knn_qps,
+        "fleet_p99_seconds": _fleet_p99(stats),
+        "health": health,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="BENCH_shard.json", help="where to write the results"
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_env(default="default")
+    from repro.data import load_dataset
+
+    points = load_dataset("OSM1", scale.n)
+    probes, windows, knn_points = _workloads(points, scale)
+    print(
+        f"scale={scale.name} n={scale.n} point_requests={len(probes)} "
+        f"windows={len(windows)} knn={len(knn_points)} cpus={os.cpu_count()}"
+    )
+
+    baselines = _bench_baselines(points, probes, scale)
+    print(
+        f"baseline closed-loop: {baselines['closed_loop']:>10,.0f} req/s   "
+        f"single-server batch: {baselines['single_batch']:>10,.0f} req/s"
+    )
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        for n_shards in N_SHARDS_SWEEP:
+            record = _bench_cluster(
+                points, probes, windows, knn_points, n_shards, scale, Path(tmp)
+            )
+            record["speedup_vs_closed_loop"] = (
+                record["point_qps"] / baselines["closed_loop"]
+            )
+            results.append(record)
+            print(
+                f"shards={n_shards}  point {record['point_qps']:>10,.0f}/s  "
+                f"window {record['window_qps']:>8,.0f}/s  "
+                f"knn {record['knn_qps']:>8,.0f}/s  "
+                f"p99={record['fleet_p99_seconds']*1e3:6.2f}ms  "
+                f"{record['speedup_vs_closed_loop']:5.1f}x vs closed-loop"
+            )
+
+    at_four = next(r for r in results if r["n_shards"] == 4)
+    speedup = at_four["speedup_vs_closed_loop"]
+    payload = {
+        "benchmark": "bench_shard_scaling",
+        "scale": scale.name,
+        "n": scale.n,
+        "n_point_requests": len(probes),
+        "n_windows": len(windows),
+        "n_knn": len(knn_points),
+        "k": K,
+        "clients": CLIENTS,
+        "pipeline": PIPELINE,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "baselines": baselines,
+        "results": results,
+        "speedup_point_4x_vs_closed_loop": speedup,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output} (4-shard point speedup {speedup:.1f}x)")
+    if speedup < 2.0:
+        raise SystemExit(
+            f"4-shard point throughput only {speedup:.2f}x the single-process "
+            "closed-loop baseline (acceptance floor is 2.0x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

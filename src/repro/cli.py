@@ -251,6 +251,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.queries.workload import window_workload
+    from repro.shard import build_cluster
+
+    points = load_dataset(args.dataset, args.n, seed=args.seed)
+    directory = args.dir or tempfile.mkdtemp(prefix="repro-shard-")
+    print(f"building {args.shards} x {args.index} shards on {args.dataset} "
+          f"(n={args.n}) under {directory} ...")
+    router = build_cluster(
+        points,
+        directory,
+        n_shards=args.shards,
+        index=args.index,
+        method=args.method,
+        curve=args.curve,
+        elsi={"lam": args.lam, "train_epochs": args.epochs, "seed": args.seed},
+        serve={"max_wait_seconds": 0.0},
+    )
+    rng = np.random.default_rng(args.seed)
+    n_points = args.requests
+    n_windows = max(args.requests // 20, 5)
+    n_knn = max(args.requests // 50, 3)
+    probe_rows = rng.integers(0, len(points), size=n_points)
+    probes = points[probe_rows]
+    windows = [q.window for q in window_workload(points, n_windows, 1e-3,
+                                                 seed=args.seed)]
+    knn_pts = points[rng.integers(0, len(points), size=n_knn)]
+
+    rows = []
+    with router:
+        started = time.perf_counter()
+        hits = int(router.point_queries(probes).sum())
+        seconds = time.perf_counter() - started
+        rows.append(["point", f"{n_points}", f"{n_points / seconds:,.0f}/s",
+                     f"{hits} hits"])
+        started = time.perf_counter()
+        results = router.window_queries(windows)
+        seconds = time.perf_counter() - started
+        rows.append(["window (0.1%)", f"{n_windows}",
+                     f"{n_windows / seconds:,.0f}/s",
+                     f"avg {np.mean([len(r) for r in results]):.1f} results"])
+        started = time.perf_counter()
+        router.knn_queries(knn_pts, args.k)
+        seconds = time.perf_counter() - started
+        rows.append([f"kNN (k={args.k})", f"{n_knn}",
+                     f"{n_knn / seconds:,.0f}/s", ""])
+        health = router.health_summary()
+        stats = router.stats_snapshot()
+        served = sum(e["value"] for e in stats.get("serve.requests_completed", []))
+        rows.append(["fleet health", health["overall"],
+                     f"{len(health['shards'])} shards",
+                     f"{served:,.0f} sub-requests"])
+    print(format_table(
+        ["workload", "count", "throughput", "notes"],
+        rows,
+        title=(f"shard: {args.shards} x {args.index} on {args.dataset} "
+               f"(n={args.n}, curve={args.curve})"),
+    ))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     import tempfile
@@ -430,6 +493,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", action="store_true",
                    help="also time the unbatched one-at-a-time loop")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("shard", help="serve through the sharded scatter-gather tier")
+    p.add_argument("--index", choices=("ZM", "ML", "LISA", "Flood"), default="ZM")
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="OSM1")
+    p.add_argument("--method", choices=_METHODS, default="SP")
+    p.add_argument("--curve", choices=("zorder", "hilbert"), default="zorder")
+    p.add_argument("--n", type=int, default=20_000)
+    p.add_argument("--shards", type=int, default=4,
+                   help="worker processes / keyspace ranges")
+    p.add_argument("--lam", type=float, default=0.8)
+    p.add_argument("--epochs", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=20_000,
+                   help="point probes (windows/kNN scale from this)")
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--dir", default=None,
+                   help="cluster directory (default: a fresh temp dir); "
+                        "reusable with repro.shard.open_cluster")
+    p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("chaos", help="run the fault-injection chaos scenarios")
     p.add_argument("--scenario", action="append", default=None,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import numpy as np
 
@@ -60,21 +61,30 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (queue depth, generation age)."""
+    """A value that can go up and down (queue depth, generation age).
+
+    Every write stamps ``updated_at`` (wall clock), which is what lets
+    :meth:`MetricsRegistry.merge` pick the freshest value when folding
+    several exported snapshots into one fleet-wide view.
+    """
 
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.updated_at = 0.0
 
     def set(self, value: float) -> None:
         self.value = float(value)
+        self.updated_at = time.time()
 
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
+        self.updated_at = time.time()
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+        self.updated_at = time.time()
 
     def snapshot(self) -> float:
         return self.value
@@ -166,12 +176,20 @@ class Histogram:
         return self.base * (2.0 ** (bucket + 1))
 
     def snapshot(self) -> dict:
+        """Summary stats plus the raw shape/buckets, so a snapshot taken in
+        one process can be merged losslessly into another registry
+        (:meth:`MetricsRegistry.merge`) — percentiles of the merged
+        histogram come out right because the bucket counts travel."""
         return {
             "count": self.count,
             "mean": self.mean,
             "max": self.max,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "total": self.total,
+            "base": self.base,
+            "n_buckets": self.n_buckets,
+            "buckets": self.counts.tolist(),
         }
 
 
@@ -231,23 +249,31 @@ class MetricsRegistry:
             self._instruments.clear()
 
     def export(self) -> dict:
-        """JSON-able dump: ``{name: [{labels, kind, value}, ...]}``."""
+        """JSON-able dump: ``{name: [{labels, kind, value}, ...]}``.
+
+        Gauge entries carry an ``updated_at`` wall-clock stamp so
+        :meth:`merge` can keep the freshest value across snapshots."""
         with self._lock:
             items = list(self._instruments.items())
         out: dict[str, list] = {}
         for (name, labels), instrument in sorted(items, key=lambda kv: kv[0]):
-            out.setdefault(name, []).append(
-                {
-                    "labels": dict(labels),
-                    "kind": instrument.kind,
-                    "value": instrument.snapshot(),
-                }
-            )
+            entry = {
+                "labels": dict(labels),
+                "kind": instrument.kind,
+                "value": instrument.snapshot(),
+            }
+            if instrument.kind == "gauge":
+                entry["updated_at"] = instrument.updated_at
+            out.setdefault(name, []).append(entry)
         return out
+
+    #: Histogram-snapshot keys that describe shape/raw state rather than a
+    #: reportable statistic; the text exporter skips them.
+    _STRUCTURAL_STATS = frozenset({"buckets", "base", "n_buckets"})
 
     def export_text(self) -> str:
         """Prometheus-style lines: ``name{k="v"} value`` (one per series,
-        histograms flattened to _count/_mean/_max/_p50/_p99)."""
+        histograms flattened to _count/_mean/_max/_p50/_p99/_total)."""
         lines: list[str] = []
         for name, series in self.export().items():
             for entry in series:
@@ -258,10 +284,60 @@ class MetricsRegistry:
                 value = entry["value"]
                 if entry["kind"] == "histogram":
                     for stat, v in value.items():
+                        if stat in self._STRUCTURAL_STATS:
+                            continue
                         lines.append(f"{name}_{stat}{suffix} {v:g}")
                 else:
                     lines.append(f"{name}{suffix} {value:g}")
         return "\n".join(lines)
+
+    def merge(self, exported: dict) -> None:
+        """Fold an :meth:`export`-format snapshot into this registry.
+
+        This is how a router combines per-shard (per-process) metric
+        snapshots into one fleet-wide view: counters **sum**, gauges keep
+        the value with the **newest** ``updated_at`` stamp, and histograms
+        **add their log-bucket counts** — so aggregate percentiles (the
+        fleet p99) are computed over the union of all samples instead of
+        being unmergeable per-server estimates.
+
+        The snapshot must come from a registry at least as new as this
+        code (histogram snapshots without raw ``buckets`` are rejected —
+        summary stats alone cannot be merged losslessly).
+        """
+        for name, series in exported.items():
+            for entry in series:
+                labels = entry.get("labels", {})
+                kind = entry.get("kind")
+                value = entry.get("value")
+                if kind == "counter":
+                    self.counter(name, **labels).inc(float(value))
+                elif kind == "gauge":
+                    gauge = self.gauge(name, **labels)
+                    stamp = float(entry.get("updated_at", 0.0))
+                    if stamp >= gauge.updated_at:
+                        gauge.value = float(value)
+                        gauge.updated_at = stamp
+                elif kind == "histogram":
+                    if "buckets" not in value:
+                        raise ValueError(
+                            f"histogram snapshot {name!r} has no bucket counts; "
+                            "only full snapshots (with 'buckets') can be merged"
+                        )
+                    hist = self.histogram(
+                        name,
+                        base=float(value["base"]),
+                        n_buckets=int(value["n_buckets"]),
+                        **labels,
+                    )
+                    hist.counts += np.asarray(value["buckets"], dtype=np.int64)
+                    hist.total += float(value["total"])
+                    if value["max"] > hist.max:
+                        hist.max = float(value["max"])
+                else:
+                    raise ValueError(
+                        f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                    )
 
     def export_json(self) -> str:
         return json.dumps(self.export(), indent=2, sort_keys=True)

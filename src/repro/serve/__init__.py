@@ -24,7 +24,16 @@ from repro.serve.errors import (
     SnapshotFailed,
     WALCorruption,
 )
-from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
+from repro.serve.requests import (
+    KNN,
+    KNN_BATCH,
+    POINT,
+    POINT_BATCH,
+    WINDOW,
+    WINDOW_BATCH,
+    Reply,
+    Request,
+)
 from repro.serve.server import (
     DEGRADED,
     HEALTHY,
@@ -45,8 +54,10 @@ __all__ = [
     "HEALTHY",
     "IndexServer",
     "KNN",
+    "KNN_BATCH",
     "LatencyHistogram",
     "POINT",
+    "POINT_BATCH",
     "READ_ONLY",
     "RebuildFailed",
     "Reply",
@@ -63,6 +74,7 @@ __all__ = [
     "WALCorruption",
     "WALRecord",
     "WINDOW",
+    "WINDOW_BATCH",
     "WriteAheadLog",
     "run_baseline",
     "run_closed_loop",

@@ -19,13 +19,31 @@ import numpy as np
 
 from repro.spatial.rect import Rect
 
-__all__ = ["KNN", "POINT", "Reply", "Request", "WINDOW"]
+__all__ = [
+    "KNN",
+    "KNN_BATCH",
+    "POINT",
+    "POINT_BATCH",
+    "Reply",
+    "Request",
+    "WINDOW",
+    "WINDOW_BATCH",
+]
 
 POINT = "point"
 WINDOW = "window"
 KNN = "knn"
 
-KINDS = (POINT, WINDOW, KNN)
+#: Batch request kinds: one request carries a whole array of points (or
+#: list of windows) and resolves to the corresponding array/list of
+#: results — the unit a shard router scatters, where per-operation
+#: Request/Reply bookkeeping would dominate the actual query work.
+POINT_BATCH = "point_batch"
+WINDOW_BATCH = "window_batch"
+KNN_BATCH = "knn_batch"
+
+KINDS = (POINT, WINDOW, KNN, POINT_BATCH, WINDOW_BATCH, KNN_BATCH)
+BATCH_KINDS = (POINT_BATCH, WINDOW_BATCH, KNN_BATCH)
 
 
 class Reply:
@@ -81,21 +99,43 @@ class Reply:
 
 @dataclass
 class Request:
-    """One queued operation; exactly one payload field is meaningful."""
+    """One queued operation; exactly one payload field is meaningful.
+
+    Scalar kinds carry ``point``/``window`` (+ ``k`` for kNN); batch kinds
+    carry ``points`` (an (n, d) array) or ``windows`` (a list of Rects)
+    and resolve to the whole batch's results at once.
+    """
 
     kind: str
     point: np.ndarray | None = None
     window: Rect | None = None
     k: int = 0
+    points: np.ndarray | None = None
+    windows: list | None = None
     reply: Reply = field(default_factory=Reply)
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
-        if self.kind == KNN and self.k < 1:
+        if self.kind in (KNN, KNN_BATCH) and self.k < 1:
             raise ValueError(f"kNN requests need k >= 1, got {self.k}")
         if self.kind == WINDOW:
             if self.window is None:
                 raise ValueError("window requests need a window")
+        elif self.kind == WINDOW_BATCH:
+            if self.windows is None:
+                raise ValueError("window-batch requests need a list of windows")
+        elif self.kind in (POINT_BATCH, KNN_BATCH):
+            if self.points is None:
+                raise ValueError(f"{self.kind} requests need a points array")
         elif self.point is None:
             raise ValueError(f"{self.kind} requests need a point")
+
+    @property
+    def size(self) -> int:
+        """Operations this request represents (1 for scalar kinds)."""
+        if self.kind == WINDOW_BATCH:
+            return len(self.windows)
+        if self.kind in (POINT_BATCH, KNN_BATCH):
+            return len(self.points)
+        return 1

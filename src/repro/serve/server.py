@@ -69,7 +69,16 @@ from repro.serve.errors import (
     ServerReadOnly,
     SnapshotFailed,
 )
-from repro.serve.requests import KNN, POINT, WINDOW, Reply, Request
+from repro.serve.requests import (
+    KNN,
+    KNN_BATCH,
+    POINT,
+    POINT_BATCH,
+    WINDOW,
+    WINDOW_BATCH,
+    Reply,
+    Request,
+)
 from repro.serve.snapshots import SnapshotManager
 from repro.serve.stats import ServerStats
 from repro.serve.wal import FSYNC_POLICIES, WriteAheadLog
@@ -534,6 +543,27 @@ class IndexServer:
             Request(kind=KNN, point=np.asarray(point, dtype=np.float64), k=k)
         )
 
+    # Batch submissions: one Request per whole sub-batch.  These are the
+    # scatter unit of the shard router — a shard worker answers an entire
+    # routed sub-batch through the queue as one request, so queue/Reply
+    # bookkeeping is paid once per sub-batch instead of once per
+    # operation, while the one-generation-read-per-batch consistency
+    # guarantee still holds for the whole sub-batch.
+    def submit_point_batch(self, points: np.ndarray) -> Reply:
+        return self.submit(
+            Request(kind=POINT_BATCH, points=np.asarray(points, dtype=np.float64))
+        )
+
+    def submit_window_batch(self, windows: list) -> Reply:
+        return self.submit(Request(kind=WINDOW_BATCH, windows=list(windows)))
+
+    def submit_knn_batch(self, points: np.ndarray, k: int) -> Reply:
+        return self.submit(
+            Request(
+                kind=KNN_BATCH, points=np.asarray(points, dtype=np.float64), k=k
+            )
+        )
+
     def point_query(self, point: np.ndarray, timeout: float | None = 30.0) -> bool:
         return self.submit_point(point).wait(timeout)
 
@@ -702,6 +732,22 @@ class IndexServer:
                         )
                     for i, result in zip(window_idx, results):
                         batch[i].reply.resolve(result, gen.gen_id)
+                # Batch-kind requests already arrive vectorised; each one
+                # resolves to its whole sub-batch's results in one
+                # processor call against the same generation snapshot.
+                for r in batch:
+                    if r.kind == POINT_BATCH:
+                        r.reply.resolve(
+                            gen.processor.point_queries(r.points), gen.gen_id
+                        )
+                    elif r.kind == WINDOW_BATCH:
+                        r.reply.resolve(
+                            gen.processor.window_queries(r.windows), gen.gen_id
+                        )
+                    elif r.kind == KNN_BATCH:
+                        r.reply.resolve(
+                            gen.processor.knn_queries(r.points, r.k), gen.gen_id
+                        )
         except BaseException as exc:  # noqa: BLE001 - must fail replies, not the worker
             for r in batch:
                 if not r.reply.done():

@@ -1,0 +1,154 @@
+"""Cluster assembly: build or reopen a full sharded serving tier.
+
+``build_cluster`` is the from-scratch path: compute the shard map over
+the build data, write the durable layout, partition the points, spawn one
+worker per shard (each builds its own index and writes its base
+snapshot + WAL under its own directory), and hand back a started
+:class:`~repro.shard.router.ShardRouter`.
+
+``open_cluster`` is the restart path: reload ``shard_map.json`` and
+``cluster.json``, spawn every worker with ``recover=True`` so each shard
+comes back from its latest loadable snapshot plus WAL-tail replay —
+exactly the single-server recovery contract, one directory per shard.
+
+Durable layout under the cluster directory::
+
+    shard_map.json          boundaries + curve + bits + bounds
+    cluster.json            index kind, method, config, serve knobs
+    shard-000/              per-shard: build_points.npy, gen-NNNNNN.npz
+    shard-001/              snapshots, wal-NNNNNN.log files
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.shard.handle import ShardHandle
+from repro.shard.router import RouterConfig, ShardRouter
+from repro.shard.shardmap import ShardMap
+from repro.shard.worker import BUILD_POINTS_FILE, WorkerSpec, capture_env
+
+__all__ = ["build_cluster", "open_cluster"]
+
+_CLUSTER_FILE = "cluster.json"
+_MAP_FILE = "shard_map.json"
+_CLUSTER_VERSION = 1
+
+
+def _shard_dir(directory: Path, shard_id: int) -> Path:
+    return directory / f"shard-{shard_id:03d}"
+
+
+def _spawn_all(specs: "list[WorkerSpec]", start_timeout: float) -> "list[ShardHandle]":
+    """Spawn every worker, closing the ones already up if any fails."""
+    handles: list[ShardHandle] = []
+    try:
+        for spec in specs:
+            handles.append(ShardHandle(spec, start_timeout=start_timeout))
+    except BaseException:
+        for handle in handles:
+            handle.close()
+        raise
+    return handles
+
+
+def build_cluster(
+    points: np.ndarray,
+    directory: "str | Path",
+    n_shards: int,
+    index: str = "ZM",
+    method: str = "SP",
+    curve: str = "zorder",
+    bits: int = 16,
+    elsi: "dict | None" = None,
+    serve: "dict | None" = None,
+    wal: bool = True,
+    env: "dict | None" = None,
+    router_config: RouterConfig | None = None,
+    start_timeout: float = 300.0,
+) -> ShardRouter:
+    """Partition, persist, spawn, and front ``points`` with a router.
+
+    ``elsi`` / ``serve`` are keyword dicts for each worker's ``ELSIConfig``
+    and ``ServeConfig``; ``env`` overrides the captured
+    ``REPRO_FAULTS``/``REPRO_DTYPE``/``REPRO_PARALLELISM`` propagation.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shard_map = ShardMap.from_points(pts, n_shards, curve=curve, bits=bits)
+    shard_map.save(directory / _MAP_FILE)
+    meta = {
+        "version": _CLUSTER_VERSION,
+        "index": index,
+        "method": method,
+        "elsi": dict(elsi or {}),
+        "serve": dict(serve or {}),
+        "wal": bool(wal),
+        "n_shards": shard_map.n_shards,
+    }
+    (directory / _CLUSTER_FILE).write_text(
+        json.dumps(meta, indent=2, sort_keys=True)
+    )
+    owners = shard_map.shard_of_points(pts)
+    worker_env = capture_env(env)
+    specs = []
+    for sid in range(shard_map.n_shards):
+        shard_dir = _shard_dir(directory, sid)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        np.save(shard_dir / BUILD_POINTS_FILE, pts[owners == sid])
+        specs.append(
+            WorkerSpec(
+                shard_id=sid,
+                directory=str(shard_dir),
+                index=index,
+                method=method,
+                elsi=dict(elsi or {}),
+                serve=dict(serve or {}),
+                env=worker_env,
+                wal=bool(wal),
+            )
+        )
+    handles = _spawn_all(specs, start_timeout)
+    return ShardRouter(shard_map, handles, config=router_config)
+
+
+def open_cluster(
+    directory: "str | Path",
+    env: "dict | None" = None,
+    router_config: RouterConfig | None = None,
+    salvage: bool = False,
+    start_timeout: float = 300.0,
+) -> ShardRouter:
+    """Reopen a persisted cluster: every shard recovers from its own
+    snapshots + WAL replay (``IndexServer.from_snapshot(..., wal=True)``)."""
+    directory = Path(directory)
+    shard_map = ShardMap.load(directory / _MAP_FILE)
+    meta = json.loads((directory / _CLUSTER_FILE).read_text())
+    if meta.get("version") != _CLUSTER_VERSION:
+        raise ValueError(
+            f"unsupported cluster version {meta.get('version')!r} "
+            f"(this build reads version {_CLUSTER_VERSION})"
+        )
+    worker_env = capture_env(env)
+    specs = [
+        WorkerSpec(
+            shard_id=sid,
+            directory=str(_shard_dir(directory, sid)),
+            index=meta["index"],
+            method=meta["method"],
+            elsi=dict(meta["elsi"]),
+            serve=dict(meta["serve"]),
+            env=worker_env,
+            recover=True,
+            wal=bool(meta["wal"]),
+            salvage=salvage,
+        )
+        for sid in range(shard_map.n_shards)
+    ]
+    handles = _spawn_all(specs, start_timeout)
+    return ShardRouter(shard_map, handles, config=router_config)

@@ -1,0 +1,186 @@
+"""Parent-side handle to one shard worker process.
+
+A handle owns the process object and the parent end of the control pipe,
+serialising requests on a per-handle lock (the protocol is strictly one
+request, one response).  Death detection is built into every receive:
+when the pipe goes EOF or the deadline passes while the process is no
+longer alive, the call raises :class:`ShardUnavailable` — the signal the
+router's recovery path keys on.  :meth:`respawn` restarts the worker with
+``recover=True`` so the replacement comes back from its own snapshots +
+WAL replay (``IndexServer.from_snapshot(..., wal=True)``) rather than a
+fresh (state-losing) build.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+
+from repro.shard.errors import ShardTimeout, ShardUnavailable
+from repro.shard.worker import WorkerSpec, shard_worker_main
+
+__all__ = ["ShardHandle"]
+
+#: Granularity of the poll loop that watches both the pipe and the
+#: process liveness while waiting for a response.
+_POLL_SECONDS = 0.05
+
+
+class ShardHandle:
+    """Spawn, talk to, respawn, and stop one shard worker."""
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        start_timeout: float = 300.0,
+        mp_context: str = "spawn",
+    ) -> None:
+        self.spec = spec
+        self.start_timeout = start_timeout
+        self._ctx = mp.get_context(mp_context)
+        self._lock = threading.RLock()
+        self._proc = None
+        self._conn = None
+        self._ready_status: dict | None = None
+        self._spawn()
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_id(self) -> int:
+        return self.spec.shard_id
+
+    @property
+    def ready_status(self) -> "dict | None":
+        """The status the worker reported when it came up."""
+        return self._ready_status
+
+    def alive(self) -> bool:
+        with self._lock:
+            return self._proc is not None and self._proc.is_alive()
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(self.spec, child_conn),
+            name=f"shard-{self.spec.shard_id:03d}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._proc = proc
+        self._conn = parent_conn
+        kind, payload = self._recv(self.start_timeout)
+        if kind == "err":
+            self._reap()
+            raise payload
+        if kind != "ready":  # pragma: no cover - protocol invariant
+            self._reap()
+            raise ShardUnavailable(
+                f"shard {self.shard_id} sent {kind!r} instead of the ready "
+                "handshake",
+                shard_id=self.shard_id,
+            )
+        self._ready_status = payload
+
+    def _reap(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._proc is not None:
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():  # pragma: no cover - last resort
+                self._proc.kill()
+                self._proc.join(timeout=5.0)
+            self._proc = None
+
+    def _recv(self, timeout: float):
+        """Receive one response, watching for worker death the whole time."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = _POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardTimeout(
+                        f"shard {self.shard_id} did not answer within "
+                        f"{timeout:.1f}s",
+                        shard_id=self.shard_id,
+                    )
+                wait = min(wait, remaining)
+            try:
+                if self._conn.poll(wait):
+                    return self._conn.recv()
+            except (EOFError, OSError):
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} worker died mid-request "
+                    f"(exitcode {self._proc.exitcode})",
+                    shard_id=self.shard_id,
+                ) from None
+            if not self._proc.is_alive() and not self._conn.poll(0):
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} worker is dead "
+                    f"(exitcode {self._proc.exitcode})",
+                    shard_id=self.shard_id,
+                )
+
+    # ------------------------------------------------------------------
+    def request(self, command: str, *payload, timeout: float = 60.0):
+        """Send ``(command, *payload)``; return the result or raise the
+        worker's exception (or :class:`ShardUnavailable` on death)."""
+        with self._lock:
+            if self._proc is None or not self._proc.is_alive():
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} has no live worker",
+                    shard_id=self.shard_id,
+                )
+            try:
+                self._conn.send((command, *payload))
+            except (BrokenPipeError, OSError):
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} worker died before the request "
+                    "could be sent",
+                    shard_id=self.shard_id,
+                ) from None
+            kind, result = self._recv(timeout)
+        if kind == "err":
+            raise result
+        return result
+
+    def respawn(self) -> dict:
+        """Replace a dead (or wedged) worker; recovery comes from disk.
+
+        The replacement always opens with ``recover=True`` — snapshots +
+        WAL replay — so every update the dead worker acknowledged is
+        present in the replacement.
+        """
+        with self._lock:
+            self._reap()
+            self.spec.recover = True
+            self._spawn()
+            return dict(self._ready_status or {})
+
+    def crash(self) -> None:
+        """Order the worker to die with ``os._exit`` (chaos hook)."""
+        with self._lock:
+            if self._proc is None:
+                return
+            try:
+                self._conn.send(("crash",))
+            except (BrokenPipeError, OSError):
+                pass
+            self._proc.join(timeout=10.0)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._proc is None:
+                return
+            if self._proc.is_alive():
+                try:
+                    self._conn.send(("close",))
+                    self._recv(30.0)
+                except (ShardUnavailable, ShardTimeout, BrokenPipeError, OSError):
+                    pass
+            self._reap()

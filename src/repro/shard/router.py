@@ -1,0 +1,449 @@
+"""Scatter-gather routing over the shard fleet.
+
+The :class:`ShardRouter` is the client-facing face of the sharded tier:
+it takes whole query batches, splits them along the shard map's key
+ranges, fans the sub-batches to the owning workers concurrently, and
+reassembles the answers in the caller's order.
+
+Routing per query kind
+----------------------
+- **point batches** — each row goes to exactly the shard owning its
+  curve code; one ``point_batch`` sub-request per involved shard.
+- **window batches** — each window goes to every shard overlapping its
+  corner-code interval (all shards under a Hilbert map); per-window
+  results are the concatenation of the per-shard results in shard order.
+  Note the row order within a window's result therefore differs from a
+  single unsharded index's scan order — the *multiset* of points is
+  identical (tests compare canonicalised forms).
+- **kNN batches** — two-round scatter: round one asks each query's home
+  shard for its k nearest; the kth distance bounds a ball, and round two
+  queries only the other shards whose key range intersects the ball's
+  bounding-rect interval (no such shard can hold anything closer than
+  the current kth candidate).  The global answer is the top k of the
+  union, ranked by distance with coordinates as the deterministic
+  tie-break.
+
+Failure handling (the PR 7 vocabulary, per shard)
+-------------------------------------------------
+- ``ServerOverloaded`` → exponential-backoff retry against the same
+  shard, up to ``RouterConfig.max_retries``.
+- dead worker (``ShardUnavailable``) → for *queries* the router respawns
+  the shard (``from_snapshot(..., wal=True)`` recovery from its own
+  directory) and retries — queries are idempotent; for *updates* the
+  error surfaces: an acknowledged update is applied exactly once, and an
+  unacknowledged one is reported, never silently retried across a crash
+  boundary.
+- ``ServerReadOnly`` → surfaces on single updates;
+  :meth:`ShardRouter.apply_updates` instead degrades partially — healthy
+  shards keep absorbing their updates, the read-only shard's rejections
+  are itemised next to a fleet health summary.
+
+Observability: :meth:`ShardRouter.stats_snapshot` merges every worker's
+``stats_snapshot()`` export and the router's own counters into one view
+via :meth:`MetricsRegistry.merge` — counters sum and histogram buckets
+add, so fleet-wide percentiles are computed over the union of all
+samples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.errors import ServerOverloaded, ServerReadOnly
+from repro.shard.errors import ShardUnavailable
+from repro.shard.handle import ShardHandle
+from repro.shard.shardmap import ShardMap
+
+__all__ = ["RouterConfig", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Scatter-gather and failure-handling knobs.
+
+    Attributes
+    ----------
+    request_timeout:
+        Per-shard deadline for one sub-request.
+    max_retries:
+        Retry budget per sub-request (overload backoff and post-respawn
+        retries both draw from it).
+    retry_base_delay / retry_max_delay:
+        Exponential-backoff window for ``ServerOverloaded`` retries.
+    auto_respawn:
+        Whether a dead shard is recovered (snapshots + WAL) and retried
+        transparently for idempotent queries.  Off, queries raise
+        :class:`~repro.shard.errors.ShardUnavailable` like updates do.
+    """
+
+    request_timeout: float = 60.0
+    max_retries: int = 3
+    retry_base_delay: float = 0.01
+    retry_max_delay: float = 0.5
+    auto_respawn: bool = True
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_base_delay < 0 or self.retry_max_delay < self.retry_base_delay:
+            raise ValueError(
+                "need 0 <= retry_base_delay <= retry_max_delay, got "
+                f"{self.retry_base_delay}/{self.retry_max_delay}"
+            )
+
+
+class ShardRouter:
+    """Fan query batches out to shard workers; fold the answers back."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        handles: "list[ShardHandle]",
+        config: RouterConfig | None = None,
+    ) -> None:
+        if shard_map.n_shards != len(handles):
+            raise ValueError(
+                f"shard map has {shard_map.n_shards} shards but "
+                f"{len(handles)} handles were provided"
+            )
+        self.shard_map = shard_map
+        self.handles = list(handles)
+        self.config = config or RouterConfig()
+        self.registry = MetricsRegistry()
+        self._closed = False
+        # One respawn lock per shard: concurrent scatter threads that hit
+        # the same dead worker must not both restart it.
+        self._respawn_locks = [threading.Lock() for _ in handles]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(len(handles), 1), thread_name_prefix="shard-scatter"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for handle in self.handles:
+            handle.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # One sub-request, with the failure vocabulary applied
+    # ------------------------------------------------------------------
+    def _call(self, shard_id: int, command: str, *payload, idempotent: bool):
+        cfg = self.config
+        handle = self.handles[shard_id]
+        attempt = 0
+        while True:
+            try:
+                return handle.request(
+                    command, *payload, timeout=cfg.request_timeout
+                )
+            except ServerOverloaded:
+                self.registry.counter(
+                    "router.retries", shard=shard_id, reason="overloaded"
+                ).inc()
+                attempt += 1
+                if attempt > cfg.max_retries:
+                    raise
+                time.sleep(
+                    min(
+                        cfg.retry_base_delay * (2 ** (attempt - 1)),
+                        cfg.retry_max_delay,
+                    )
+                )
+            except ShardUnavailable:
+                self.registry.counter("router.shard_deaths", shard=shard_id).inc()
+                if not (idempotent and cfg.auto_respawn):
+                    raise
+                attempt += 1
+                if attempt > cfg.max_retries:
+                    raise
+                self._ensure_alive(shard_id)
+
+    def _ensure_alive(self, shard_id: int) -> None:
+        """Respawn a dead shard exactly once per death, however many
+        scatter threads observe it."""
+        handle = self.handles[shard_id]
+        with self._respawn_locks[shard_id]:
+            if handle.alive():
+                return
+            handle.respawn()
+            self.registry.counter("router.respawns", shard=shard_id).inc()
+
+    def _scatter(self, calls: "dict[int, tuple]", idempotent: bool) -> dict:
+        """Run ``{shard_id: (command, *payload)}`` concurrently; returns
+        ``{shard_id: result}``.  Any failure propagates after all
+        in-flight sub-requests finish."""
+        if not calls:
+            return {}
+        if len(calls) == 1:
+            ((sid, call),) = calls.items()
+            return {sid: self._call(sid, *call, idempotent=idempotent)}
+        futures = {
+            sid: self._pool.submit(self._call, sid, *call, idempotent=idempotent)
+            for sid, call in calls.items()
+        }
+        results, first_error = {}, None
+        for sid, future in futures.items():
+            try:
+                results[sid] = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                first_error = first_error or exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point_queries(self, points: np.ndarray) -> np.ndarray:
+        """Batch membership: each row answered by its owning shard."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return np.zeros(0, dtype=bool)
+        owners = self.shard_map.shard_of_points(pts)
+        calls = {
+            int(sid): ("point_batch", pts[owners == sid])
+            for sid in np.unique(owners)
+        }
+        self.registry.counter("router.queries", kind="point").inc(len(pts))
+        replies = self._scatter(calls, idempotent=True)
+        out = np.zeros(len(pts), dtype=bool)
+        for sid, hits in replies.items():
+            out[owners == sid] = np.asarray(hits, dtype=bool)
+        return out
+
+    def window_queries(self, windows: "list") -> "list[np.ndarray]":
+        """Batch windows: each split across its range-overlapping shards."""
+        if not windows:
+            return []
+        per_shard: dict[int, list[int]] = {}
+        for i, window in enumerate(windows):
+            for sid in self.shard_map.shards_for_window(window):
+                per_shard.setdefault(sid, []).append(i)
+        calls = {
+            sid: ("window_batch", [windows[i] for i in members])
+            for sid, members in per_shard.items()
+        }
+        self.registry.counter("router.queries", kind="window").inc(len(windows))
+        replies = self._scatter(calls, idempotent=True)
+        d = self.shard_map.bounds.ndim
+        parts: list[list[np.ndarray]] = [[] for _ in windows]
+        for sid in sorted(replies):  # shard order => deterministic output
+            for i, result in zip(per_shard[sid], replies[sid]):
+                if len(result):
+                    parts[i].append(np.asarray(result, dtype=np.float64))
+        return [
+            np.vstack(p) if p else np.empty((0, d), dtype=np.float64)
+            for p in parts
+        ]
+
+    def knn_queries(self, points: np.ndarray, k: int) -> "list[np.ndarray]":
+        """Batch kNN: home-shard round, then radius-pruned widening."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(pts) == 0:
+            return []
+        self.registry.counter("router.queries", kind="knn").inc(len(pts))
+        owners = self.shard_map.shard_of_points(pts)
+        calls = {
+            int(sid): ("knn_batch", pts[owners == sid], k)
+            for sid in np.unique(owners)
+        }
+        replies = self._scatter(calls, idempotent=True)
+        candidates: list[list[np.ndarray]] = [[] for _ in pts]
+        for sid, results in replies.items():
+            for i, result in zip(np.flatnonzero(owners == sid), results):
+                candidates[i].append(np.asarray(result, dtype=np.float64))
+        if self.n_shards > 1:
+            # Round two: shards whose range intersects the ball of the
+            # kth candidate distance (everything, when round one came up
+            # short of k — the radius is unbounded then).
+            per_shard: dict[int, list[int]] = {}
+            for i, q in enumerate(pts):
+                radius = _kth_distance(q, candidates[i], k)
+                for sid in self.shard_map.shards_for_ball(q, radius):
+                    if sid != owners[i]:
+                        per_shard.setdefault(int(sid), []).append(i)
+            if per_shard:
+                self.registry.counter("router.knn_round2").inc(
+                    sum(len(v) for v in per_shard.values())
+                )
+                calls = {
+                    sid: ("knn_batch", pts[members], k)
+                    for sid, members in per_shard.items()
+                }
+                replies = self._scatter(calls, idempotent=True)
+                for sid, results in replies.items():
+                    for i, result in zip(per_shard[sid], results):
+                        candidates[i].append(
+                            np.asarray(result, dtype=np.float64)
+                        )
+        return [
+            _top_k(q, cands, k, self.shard_map.bounds.ndim)
+            for q, cands in zip(pts, candidates)
+        ]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray) -> None:
+        """Route one insert to its owning shard (at-most-once)."""
+        self._update("insert", point)
+
+    def delete(self, point: np.ndarray) -> bool:
+        """Route one delete to its owning shard (at-most-once)."""
+        return self._update("delete", point)
+
+    def _update(self, op: str, point: np.ndarray):
+        pt = np.asarray(point, dtype=np.float64)
+        sid = int(self.shard_map.shard_of_points(pt[None, :])[0])
+        # A dead worker noticed *before* anything is sent is safe to
+        # recover through — nothing is in flight, so routing the update to
+        # the respawned shard cannot double-apply.  Only death mid-request
+        # (outcome unknown) surfaces to the caller.
+        if self.config.auto_respawn and not self.handles[sid].alive():
+            self._ensure_alive(sid)
+        try:
+            result = self._call(sid, op, pt, idempotent=False)
+        except ServerReadOnly:
+            self.registry.counter(
+                "router.read_only_rejections", shard=sid
+            ).inc()
+            raise
+        self.registry.counter("router.updates", op=op).inc()
+        return result
+
+    def apply_updates(self, ops: "list[tuple[str, np.ndarray]]") -> dict:
+        """Apply ``(op, point)`` updates, degrading partially.
+
+        Healthy shards absorb their updates; a shard that is read-only
+        (or down) rejects its share without failing the rest.  The return
+        value itemises what happened and carries a fleet health summary:
+        ``{"applied": n, "rejected": [{"index", "op", "shard", "error"},
+        ...], "health": ...}``.
+        """
+        applied, rejected = 0, []
+        for i, (op, point) in enumerate(ops):
+            try:
+                self._update(op, point)
+                applied += 1
+            except (ServerReadOnly, ShardUnavailable) as exc:
+                rejected.append(
+                    {
+                        "index": i,
+                        "op": op,
+                        "shard": getattr(exc, "shard_id", None)
+                        if isinstance(exc, ShardUnavailable)
+                        else int(
+                            self.shard_map.shard_of_points(
+                                np.asarray(point, dtype=np.float64)[None, :]
+                            )[0]
+                        ),
+                        "error": type(exc).__name__,
+                    }
+                )
+        return {
+            "applied": applied,
+            "rejected": rejected,
+            "health": self.health_summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # Health and metrics
+    # ------------------------------------------------------------------
+    def health_summary(self) -> dict:
+        """Per-shard health plus a fleet verdict.
+
+        ``healthy`` — every shard healthy; ``degraded`` — at least one
+        shard degraded/read-only/down but the fleet still answers;
+        ``down`` — every shard unreachable.
+        """
+        shards = {}
+        for handle in self.handles:
+            sid = handle.shard_id
+            try:
+                shards[sid] = self._call(sid, "status", idempotent=False)
+            except ShardUnavailable:
+                shards[sid] = {"health": "down"}
+        states = [s["health"] for s in shards.values()]
+        if all(state == "down" for state in states):
+            overall = "down"
+        elif all(state == "healthy" for state in states):
+            overall = "healthy"
+        else:
+            overall = "degraded"
+        return {"overall": overall, "shards": shards}
+
+    def stats_snapshot(self) -> dict:
+        """One fleet-wide metrics export: every live shard's
+        ``stats_snapshot()`` merged (counters summed, histogram buckets
+        added, gauges by freshest stamp) with the router's own counters.
+        Dead shards are skipped and counted on
+        ``router.stats_unreachable``."""
+        merged = MetricsRegistry()
+        merged.merge(self.registry.export())
+        for handle in self.handles:
+            try:
+                merged.merge(
+                    self._call(handle.shard_id, "stats", idempotent=False)
+                )
+            except ShardUnavailable:
+                self.registry.counter(
+                    "router.stats_unreachable", shard=handle.shard_id
+                ).inc()
+        return merged.export()
+
+
+# ----------------------------------------------------------------------
+# kNN merge helpers
+# ----------------------------------------------------------------------
+def _kth_distance(q: np.ndarray, candidate_sets: "list[np.ndarray]", k: int) -> float:
+    """Distance of the kth-best candidate so far (inf when short of k)."""
+    stacked = [c for c in candidate_sets if len(c)]
+    if not stacked:
+        return np.inf
+    merged = np.vstack(stacked)
+    if len(merged) < k:
+        return np.inf
+    diff = merged - q
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return float(np.partition(dist, k - 1)[k - 1])
+
+
+def _top_k(q: np.ndarray, candidate_sets: "list[np.ndarray]", k: int, d: int):
+    """Global top-k of the candidate union, ranked by distance with
+    coordinates as the deterministic tie-break (shard arrival order must
+    never leak into the result)."""
+    stacked = [c for c in candidate_sets if len(c)]
+    if not stacked:
+        return np.empty((0, d), dtype=np.float64)
+    merged = np.vstack(stacked)
+    diff = merged - q
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    order = np.lexsort(tuple(merged.T[::-1]) + (dist,))
+    return merged[order[: min(k, len(order))]]

@@ -1,0 +1,242 @@
+"""The shard map: contiguous space-filling-curve key ranges, one per shard.
+
+Following LiLIS (see PAPERS.md), the keyspace is the image of the data
+under a space-filling curve — Morton/Z-order by default, Hilbert as an
+alternative — and each shard owns one contiguous code range.  Boundaries
+are chosen by **rank quantiles** over the mapped keys of the build data
+(so shards hold equal point counts, not equal key-space volume, which
+matters on skewed data) and then snapped to positions where adjacent
+sorted keys differ, so duplicate codes never straddle a cut: routing by
+``searchsorted`` stays consistent with the partition actually built.
+
+Routing rules (all conservative, never lossy):
+
+- **point** → the single shard whose range contains the point's code;
+- **window** → every shard whose range overlaps ``[code(lo), code(hi)]``.
+  Morton codes are monotone in each coordinate (spreading bits preserves
+  order and the per-dimension bit positions are disjoint), so every
+  point inside the rect has a code inside that corner interval — shards
+  outside it provably hold nothing of interest.  Hilbert codes have no
+  such corner-interval property, so with ``curve="hilbert"`` window (and
+  kNN round-two) routing broadcasts to all shards — correct, just
+  unpruned;
+- **kNN** → round one asks the point's home shard, round two widens to
+  the shards overlapping the interval of the ball's bounding rect (see
+  :meth:`ShardMap.shards_for_ball`).
+
+The map is persisted as ``shard_map.json`` next to the per-shard
+directories and reloaded verbatim on cluster reopen — boundaries are part
+of the durable state, not recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.spatial.hilbert import hilbert_values
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import zvalues
+
+__all__ = ["CURVES", "ShardMap"]
+
+CURVES = ("zorder", "hilbert")
+
+_MAP_VERSION = 1
+
+
+class ShardMap:
+    """N contiguous curve-code ranges and the routing arithmetic over them.
+
+    ``boundaries`` holds N-1 uint64 codes; shard ``i`` owns the half-open
+    code range ``[boundaries[i-1], boundaries[i])`` (with 0 and 2^63
+    implied at the ends), so ``searchsorted(boundaries, code,
+    side="right")`` is the owning shard.
+    """
+
+    def __init__(
+        self,
+        boundaries: np.ndarray,
+        bounds: Rect,
+        curve: str = "zorder",
+        bits: int = 16,
+    ) -> None:
+        if curve not in CURVES:
+            raise ValueError(f"curve must be one of {CURVES}, got {curve!r}")
+        self.boundaries = np.asarray(boundaries, dtype=np.uint64)
+        if np.any(np.diff(self.boundaries.astype(np.int64)) <= 0):
+            raise ValueError("shard boundaries must be strictly increasing")
+        self.bounds = bounds
+        self.curve = curve
+        self.bits = int(bits)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        n_shards: int,
+        bounds: Rect | None = None,
+        curve: str = "zorder",
+        bits: int = 16,
+    ) -> "ShardMap":
+        """Rank-quantile boundaries over the mapped keys of ``points``.
+
+        Each cut lands at rank ``i * n / n_shards`` and is then snapped
+        forward to the next position where the sorted key changes (so a
+        run of equal codes stays whole in one shard).  Raises when the
+        data has too few distinct codes to support ``n_shards`` non-empty
+        shards — lower ``n_shards`` or raise ``bits``.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or len(pts) == 0:
+            raise ValueError(f"need a non-empty (n, d) array, got shape {pts.shape}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if bounds is None:
+            bounds = Rect.bounding(pts)
+        if n_shards == 1:
+            return cls(np.empty(0, dtype=np.uint64), bounds, curve=curve, bits=bits)
+        keys = np.sort(cls._encode(pts, bounds, curve, bits))
+        n = len(keys)
+        boundaries: list[int] = []
+        for i in range(1, n_shards):
+            cut = i * n // n_shards
+            # Snap forward past any run of equal keys so the boundary key
+            # is the *first* key of the next shard, never mid-run.
+            while cut < n and cut > 0 and keys[cut] == keys[cut - 1]:
+                cut += 1
+            if cut >= n:
+                raise ValueError(
+                    f"cannot cut {n} keys ({len(np.unique(keys))} distinct) "
+                    f"into {n_shards} non-empty shards; lower n_shards or "
+                    f"raise bits"
+                )
+            boundaries.append(int(keys[cut]))
+        if len(set(boundaries)) != len(boundaries):
+            raise ValueError(
+                f"duplicate shard boundaries at n_shards={n_shards}: the key "
+                "distribution is too concentrated; lower n_shards or raise bits"
+            )
+        return cls(
+            np.asarray(boundaries, dtype=np.uint64), bounds, curve=curve, bits=bits
+        )
+
+    @staticmethod
+    def _encode(
+        points: np.ndarray, bounds: Rect, curve: str, bits: int
+    ) -> np.ndarray:
+        if curve == "hilbert":
+            return hilbert_values(points, bounds, bits=bits)
+        return zvalues(points, bounds, bits=bits)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.boundaries) + 1
+
+    def keys_of(self, points: np.ndarray) -> np.ndarray:
+        """Curve codes of ``points`` (clipped into the map's bounds)."""
+        return self._encode(
+            np.atleast_2d(np.asarray(points, dtype=np.float64)),
+            self.bounds,
+            self.curve,
+            self.bits,
+        )
+
+    def shard_of_points(self, points: np.ndarray) -> np.ndarray:
+        """Owning shard id per point row."""
+        return np.searchsorted(self.boundaries, self.keys_of(points), side="right")
+
+    def shard_range(self, code_lo: int, code_hi: int) -> range:
+        """Shards whose ranges overlap the closed code interval."""
+        first = int(np.searchsorted(self.boundaries, np.uint64(code_lo), side="right"))
+        last = int(np.searchsorted(self.boundaries, np.uint64(code_hi), side="right"))
+        return range(first, last + 1)
+
+    def shards_for_window(self, window: Rect) -> range:
+        """Shards a window query must visit.
+
+        Z-order: the corner-code interval ``[code(lo), code(hi)]`` covers
+        every point in the rect (Morton monotonicity), so only shards
+        overlapping it are visited.  Hilbert: all shards (no corner
+        interval exists).
+        """
+        if self.curve != "zorder":
+            return range(self.n_shards)
+        corners = np.stack([window.lo_array, window.hi_array])
+        lo, hi = self.keys_of(corners)
+        return self.shard_range(int(lo), int(hi))
+
+    def shards_for_ball(self, center: np.ndarray, radius: float) -> range:
+        """Shards that can contain a point within ``radius`` of ``center``
+        (the kNN round-two candidate set; ``inf`` means every shard)."""
+        if self.curve != "zorder" or not np.isfinite(radius):
+            return range(self.n_shards)
+        q = np.asarray(center, dtype=np.float64)
+        ball = Rect.from_arrays(q - radius, q + radius)
+        return self.shards_for_window(ball)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": _MAP_VERSION,
+            "curve": self.curve,
+            "bits": self.bits,
+            "n_shards": self.n_shards,
+            "bounds": {
+                "lo": self.bounds.lo_array.tolist(),
+                "hi": self.bounds.hi_array.tolist(),
+            },
+            "boundaries": [int(b) for b in self.boundaries],
+        }
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardMap":
+        if data.get("version") != _MAP_VERSION:
+            raise ValueError(
+                f"unsupported shard map version {data.get('version')!r} "
+                f"(this build reads version {_MAP_VERSION})"
+            )
+        bounds = Rect.from_arrays(
+            np.asarray(data["bounds"]["lo"], dtype=np.float64),
+            np.asarray(data["bounds"]["hi"], dtype=np.float64),
+        )
+        smap = cls(
+            np.asarray(data["boundaries"], dtype=np.uint64),
+            bounds,
+            curve=data["curve"],
+            bits=int(data["bits"]),
+        )
+        if smap.n_shards != int(data["n_shards"]):
+            raise ValueError(
+                f"shard map is inconsistent: {len(smap.boundaries)} boundaries "
+                f"but n_shards={data['n_shards']}"
+            )
+        return smap
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ShardMap":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ShardMap(n_shards={self.n_shards}, curve={self.curve!r}, "
+            f"bits={self.bits})"
+        )

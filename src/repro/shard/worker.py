@@ -1,0 +1,239 @@
+"""The shard worker: one process, one :class:`IndexServer`, one keyspace range.
+
+Workers are started with the ``spawn`` multiprocessing context — a fresh
+interpreter, **nothing inherited from the parent by fork** — so every bit
+of configuration a shard needs travels explicitly in its
+:class:`WorkerSpec`: the per-shard directory (snapshots + WAL + build
+points), the index kind and build method, ELSI/serve config kwargs, and
+the captured environment (``REPRO_FAULTS`` / ``REPRO_DTYPE`` /
+``REPRO_PARALLELISM``).  The worker applies that environment to
+``os.environ`` *and* arms the fault spec on its own fault registry before
+building anything, so ``repro chaos``-style scenarios can target fault
+sites inside an individual shard regardless of how the process started.
+
+The control protocol over the duplex pipe is one request, one response:
+the parent sends ``(command, *payload)`` tuples and the worker answers
+``("ok", result)`` or ``("err", exception)`` — the server's typed errors
+(``ServerOverloaded``, ``ServerReadOnly``, ...) pickle cleanly and cross
+the pipe as themselves, so the router handles the exact single-server
+failure vocabulary.  Query commands carry whole sub-batches and run
+through the server's batch request kinds (one queued ``Request`` per
+sub-batch), keeping the per-operation cost on the pipe and the queue
+negligible next to the vectorised query work.
+
+``("crash",)`` makes the worker die with ``os._exit`` — no cleanup, no
+flushes — which is the chaos hook the kill-mid-stream recovery test uses.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ENV_KEYS",
+    "WORKER_CRASH_EXIT",
+    "WorkerSpec",
+    "capture_env",
+    "shard_worker_main",
+]
+
+#: Environment configuration propagated explicitly into workers at spawn.
+ENV_KEYS = ("REPRO_FAULTS", "REPRO_DTYPE", "REPRO_PARALLELISM")
+
+#: Exit code of a deliberate ``("crash",)`` — same idea as the chaos
+#: child's marker: distinguishes commanded crashes from real failures.
+WORKER_CRASH_EXIT = 17
+
+#: File the parent writes a shard's build partition to (and the worker
+#: reads it back from on a fresh build).
+BUILD_POINTS_FILE = "build_points.npy"
+
+
+def capture_env(overrides: "dict | None" = None) -> dict:
+    """The :data:`ENV_KEYS` subset of the current environment, plus
+    ``overrides`` — captured in the parent at spec-creation time so spawn
+    never has to rely on what a child happens to inherit."""
+    env = {key: os.environ[key] for key in ENV_KEYS if key in os.environ}
+    if overrides:
+        env.update({str(k): str(v) for k, v in overrides.items()})
+    return env
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one shard worker needs, explicitly (picklable, no
+    closures — the spawn context re-imports this module in the child).
+
+    Attributes
+    ----------
+    shard_id:
+        This shard's index in the shard map.
+    directory:
+        Per-shard directory: ``build_points.npy``, snapshots
+        (``gen-NNNNNN.npz``) and WAL files all live here.
+    index / method:
+        Index kind (``ZM``/``ML``/``LISA``/``Flood``) and ELSI build
+        method, resolved in the worker.
+    elsi / serve:
+        Keyword arguments for ``ELSIConfig`` and ``ServeConfig``.
+    env:
+        Captured :data:`ENV_KEYS` values applied in the worker before
+        anything configuration-sensitive is constructed.
+    recover:
+        ``True`` opens the server with ``IndexServer.from_snapshot(...,
+        wal=True)`` (crash recovery / cluster reopen) instead of building
+        from ``build_points.npy``.
+    wal:
+        Whether updates are write-ahead-logged (required for the zero
+        acknowledged-loss recovery contract).
+    salvage:
+        Passed through to ``from_snapshot`` on recovery.
+    """
+
+    shard_id: int
+    directory: str
+    index: str = "ZM"
+    method: str = "SP"
+    elsi: dict = field(default_factory=dict)
+    serve: dict = field(default_factory=dict)
+    env: dict = field(default_factory=dict)
+    recover: bool = False
+    wal: bool = True
+    salvage: bool = False
+
+
+def _apply_env(spec: WorkerSpec) -> None:
+    """Apply the spec's captured environment, then arm faults explicitly.
+
+    Applying ``os.environ`` covers everything read lazily after this
+    point (dtype, parallelism, a fault registry not yet created); the
+    explicit ``arm_spec`` covers the one case the environment cannot —
+    a start method under which this process already initialised its
+    registry before the spec arrived."""
+    for key in ENV_KEYS:
+        if key in spec.env:
+            os.environ[key] = spec.env[key]
+        else:
+            os.environ.pop(key, None)
+    from repro.faults.registry import get_fault_registry
+
+    if spec.env.get("REPRO_FAULTS"):
+        get_fault_registry().arm_spec(spec.env["REPRO_FAULTS"])
+    else:
+        get_fault_registry()
+
+
+def _open_server(spec: WorkerSpec):
+    """Build (or recover) this shard's :class:`IndexServer`."""
+    from repro.core import ELSIConfig, ELSIModelBuilder
+    from repro.indices import FloodIndex, LISAIndex, MLIndex, ZMIndex
+    from repro.serve.server import IndexServer, ServeConfig
+
+    kinds = {"ZM": ZMIndex, "ML": MLIndex, "LISA": LISAIndex, "Flood": FloodIndex}
+    if spec.index not in kinds:
+        raise ValueError(
+            f"shard worker cannot serve index kind {spec.index!r}; "
+            f"known kinds: {sorted(kinds)}"
+        )
+    index_cls = kinds[spec.index]
+    config = ELSIConfig(**spec.elsi)
+    builder = ELSIModelBuilder(config, method=spec.method)
+    factory = lambda: index_cls(builder=builder)  # noqa: E731
+    serve_config = ServeConfig(**spec.serve)
+    directory = Path(spec.directory)
+    if spec.recover:
+        return IndexServer.from_snapshot(
+            directory,
+            wal=spec.wal,
+            salvage=spec.salvage,
+            config=serve_config,
+            elsi_config=config,
+            index_factory=factory,
+        )
+    points = np.load(directory / BUILD_POINTS_FILE)
+    index = index_cls(builder=builder)
+    index.build(points)
+    return IndexServer(
+        index,
+        serve_config,
+        elsi_config=config,
+        index_factory=factory,
+        snapshots=str(directory),
+        wal=spec.wal,
+    )
+
+
+def _status(server) -> dict:
+    return {
+        "health": server.health,
+        "generation": server.generation,
+        "n_points": server.n_points,
+    }
+
+
+def shard_worker_main(spec: WorkerSpec, conn) -> None:
+    """Process entry point: open the shard's server, answer the pipe.
+
+    The first message is always ``("ready", status)`` or ``("err", exc)``
+    — the parent's spawn blocks on it, so a shard that fails to build or
+    recover surfaces its exception instead of hanging the cluster.
+    """
+    _apply_env(spec)
+    try:
+        server = _open_server(spec)
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        conn.send(("err", exc))
+        conn.close()
+        return
+    server.start()
+    conn.send(("ready", _status(server)))
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            command, payload = message[0], message[1:]
+            if command == "crash":
+                os._exit(WORKER_CRASH_EXIT)
+            if command == "close":
+                conn.send(("ok", None))
+                break
+            try:
+                conn.send(("ok", _dispatch(server, command, payload)))
+            except BaseException as exc:  # noqa: BLE001 - errors cross the pipe
+                conn.send(("err", exc))
+    finally:
+        server.close()
+        conn.close()
+
+
+def _dispatch(server, command: str, payload: tuple):
+    if command == "point_batch":
+        (points,) = payload
+        return np.asarray(server.submit_point_batch(points).wait(60.0))
+    if command == "window_batch":
+        (windows,) = payload
+        return server.submit_window_batch(windows).wait(60.0)
+    if command == "knn_batch":
+        points, k = payload
+        return server.submit_knn_batch(points, k).wait(60.0)
+    if command == "insert":
+        (point,) = payload
+        server.insert(point)
+        return True
+    if command == "delete":
+        (point,) = payload
+        return server.delete(point)
+    if command == "rebuild":
+        server.rebuild_now()
+        return _status(server)
+    if command == "stats":
+        return server.stats_snapshot()
+    if command == "status":
+        return _status(server)
+    raise ValueError(f"unknown shard worker command {command!r}")

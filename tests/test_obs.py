@@ -286,7 +286,59 @@ def test_registry_export_formats():
     text = r.export_text()
     assert 'jobs{backend="thread"} 4' in text
     assert "lat_count 1" in text
+    assert "lat_buckets" not in text  # structural keys stay out of the text form
     assert json.loads(r.export_json())["depth"][0]["kind"] == "gauge"
+
+
+def test_registry_merge_sums_counters_and_adds_histogram_buckets():
+    a, b, fleet = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    a.counter("serve.requests", kind="point").inc(10)
+    b.counter("serve.requests", kind="point").inc(5)
+    b.counter("serve.requests", kind="knn").inc(2)
+    a.histogram("lat", base=1.0, n_buckets=6).record_many([0.5, 2.0])
+    b.histogram("lat", base=1.0, n_buckets=6).record_many([4.0, 9.0])
+    fleet.merge(a.export())
+    fleet.merge(b.export())
+    assert fleet.counter("serve.requests", kind="point").value == 15
+    assert fleet.counter("serve.requests", kind="knn").value == 2
+    merged = fleet.histogram("lat", base=1.0, n_buckets=6)
+    assert merged.count == 4
+    assert merged.total == pytest.approx(15.5)
+    assert merged.max == 9.0
+    np.testing.assert_array_equal(merged.counts, [1, 1, 1, 0, 1, 0])
+    # The merged p99 is computed over the union of samples — the thing
+    # per-server summary snapshots could never provide.
+    assert merged.percentile(99) == 32.0
+
+
+def test_registry_merge_gauges_keep_newest_stamp():
+    a, b, fleet = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    a.gauge("serve.health_state").set(0)
+    b.gauge("serve.health_state").set(2)  # set later -> newer stamp
+    fleet.merge(b.export())
+    fleet.merge(a.export())  # older snapshot merged second must not win
+    assert fleet.gauge("serve.health_state").value == 2.0
+
+
+def test_registry_merge_rejects_summary_only_histograms():
+    fleet = MetricsRegistry()
+    with pytest.raises(ValueError, match="buckets"):
+        fleet.merge(
+            {"lat": [{"labels": {}, "kind": "histogram",
+                      "value": {"count": 1, "mean": 1.0, "max": 1.0,
+                                "p50": 1.0, "p99": 1.0}}]}
+        )
+
+
+def test_registry_merge_roundtrips_through_json():
+    a, fleet = MetricsRegistry(), MetricsRegistry()
+    a.counter("jobs").inc(3)
+    a.gauge("depth").set(7)
+    a.histogram("lat", base=1.0, n_buckets=4).record(2.5)
+    fleet.merge(json.loads(a.export_json()))
+    assert fleet.counter("jobs").value == 3
+    assert fleet.gauge("depth").value == 7.0
+    assert fleet.histogram("lat", base=1.0, n_buckets=4).count == 1
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,465 @@
+"""Tests for the sharded serving tier (shard map, router, recovery).
+
+The parity tests are the acceptance centrepiece: every query kind routed
+through the multi-process scatter-gather tier must return the same
+answers as one unsharded index over the same data — bit-identical after
+canonical (lexsort) ordering, since a cross-shard merge cannot reproduce
+a single index's internal scan order.
+
+The failure tests exercise the PR 7 vocabulary through the router:
+overload retry, read-only partial degradation, and the chaos-style
+kill-one-shard-mid-stream scenario asserting zero acknowledged-update
+loss while the surviving shards keep serving.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.core.update_processor import UpdateProcessor
+from repro.faults.chaos import make_schedule, _apply_op, _canon
+from repro.faults.registry import InjectedFault
+from repro.indices import ZMIndex
+from repro.serve import ServerOverloaded, ServerReadOnly
+from repro.shard import (
+    RouterConfig,
+    ShardMap,
+    ShardRouter,
+    ShardUnavailable,
+    build_cluster,
+    capture_env,
+    open_cluster,
+)
+from repro.spatial.rect import Rect
+from repro.spatial.zcurve import zvalues
+
+_ELSI = {"train_epochs": 40, "seed": 0}
+_SERVE = {"max_wait_seconds": 0.0}
+
+
+# ----------------------------------------------------------------------
+# Shard map units (no processes)
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_quantile_boundaries_balance_points(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 4)
+        owners = smap.shard_of_points(osm_points)
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 0
+        # Rank quantiles: shards within a few percent of n/4 barring ties.
+        assert counts.max() <= 1.2 * len(osm_points) / 4
+
+    def test_duplicate_keys_never_straddle_a_cut(self):
+        # Heavy duplication: 10 distinct locations x 100 copies each.
+        rng = np.random.default_rng(3)
+        base = rng.random((10, 2))
+        pts = np.repeat(base, 100, axis=0)
+        smap = ShardMap.from_points(pts, 3)
+        owners = smap.shard_of_points(pts)
+        keys = smap.keys_of(pts)
+        for key in np.unique(keys):
+            assert len(np.unique(owners[keys == key])) == 1
+
+    def test_too_many_shards_for_distinct_keys_raises(self):
+        pts = np.repeat(np.random.default_rng(0).random((2, 2)), 50, axis=0)
+        with pytest.raises(ValueError, match="shards"):
+            ShardMap.from_points(pts, 8)
+
+    def test_window_routing_covers_contained_points(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 5)
+        owners = smap.shard_of_points(osm_points)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            center = osm_points[rng.integers(len(osm_points))]
+            window = Rect.centered(center, float(rng.uniform(0.01, 0.3)))
+            visited = set(smap.shards_for_window(window))
+            inside = owners[window.contains_points(osm_points)]
+            assert set(inside.tolist()) <= visited
+
+    def test_ball_routing_covers_points_in_radius(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 5)
+        owners = smap.shard_of_points(osm_points)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            q = osm_points[rng.integers(len(osm_points))]
+            radius = float(rng.uniform(0.01, 0.2))
+            visited = set(smap.shards_for_ball(q, radius))
+            dist = np.sqrt(((osm_points - q) ** 2).sum(axis=1))
+            assert set(owners[dist <= radius].tolist()) <= visited
+        assert set(smap.shards_for_ball(osm_points[0], np.inf)) == set(range(5))
+
+    def test_zorder_interval_matches_key_arithmetic(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 4)
+        window = Rect((0.2, 0.3), (0.4, 0.5))
+        corners = np.stack([window.lo_array, window.hi_array])
+        lo, hi = zvalues(corners, smap.bounds, bits=smap.bits)
+        assert list(smap.shards_for_window(window)) == list(
+            smap.shard_range(int(lo), int(hi))
+        )
+
+    def test_hilbert_windows_broadcast(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 3, curve="hilbert")
+        window = Rect((0.2, 0.2), (0.25, 0.25))
+        assert list(smap.shards_for_window(window)) == [0, 1, 2]
+        # Point routing still works: every point owned by exactly one shard.
+        owners = smap.shard_of_points(osm_points)
+        assert set(np.unique(owners)) <= {0, 1, 2}
+
+    def test_save_load_roundtrip(self, osm_points, tmp_path):
+        smap = ShardMap.from_points(osm_points, 4, bits=14)
+        path = smap.save(tmp_path / "shard_map.json")
+        loaded = ShardMap.load(path)
+        np.testing.assert_array_equal(loaded.boundaries, smap.boundaries)
+        assert loaded.curve == smap.curve and loaded.bits == smap.bits
+        np.testing.assert_array_equal(
+            loaded.shard_of_points(osm_points), smap.shard_of_points(osm_points)
+        )
+
+    def test_single_shard_owns_everything(self, osm_points):
+        smap = ShardMap.from_points(osm_points, 1)
+        assert not smap.shard_of_points(osm_points).any()
+        assert list(smap.shards_for_window(Rect.unit())) == [0]
+
+
+# ----------------------------------------------------------------------
+# Serve-core batch request kinds (no processes)
+# ----------------------------------------------------------------------
+class TestBatchRequests:
+    @pytest.fixture(scope="class")
+    def server(self, osm_points):
+        config = ELSIConfig(train_epochs=40)
+        index = ZMIndex(builder=ELSIModelBuilder(config, method="SP"))
+        index.build(osm_points)
+        from repro.serve import IndexServer, ServeConfig
+
+        with IndexServer(
+            index, ServeConfig(max_wait_seconds=0.0), elsi_config=config
+        ) as server:
+            yield server
+
+    def test_point_batch_matches_scalar_submits(self, server, osm_points):
+        probes = np.vstack([osm_points[:20], osm_points[:20] + 3.0])
+        batched = server.submit_point_batch(probes).wait(20)
+        scalar = [server.submit_point(p).wait(20) for p in probes]
+        np.testing.assert_array_equal(np.asarray(batched), np.asarray(scalar))
+
+    def test_window_batch_matches_scalar_submits(self, server):
+        windows = [
+            Rect.centered(np.array([x, x]), 0.1) for x in (0.25, 0.5, 0.75)
+        ]
+        batched = server.submit_window_batch(windows).wait(20)
+        for got, window in zip(batched, windows):
+            want = server.submit_window(window).wait(20)
+            np.testing.assert_array_equal(_canon(got), _canon(want))
+
+    def test_knn_batch_matches_scalar_submits(self, server, osm_points):
+        batched = server.submit_knn_batch(osm_points[:5], 6).wait(20)
+        for got, q in zip(batched, osm_points[:5]):
+            want = server.submit_knn(q, 6).wait(20)
+            np.testing.assert_array_equal(_canon(got), _canon(want))
+
+    def test_batch_requests_validate_payloads(self):
+        from repro.serve.requests import KNN_BATCH, POINT_BATCH, Request
+
+        with pytest.raises(ValueError, match="points"):
+            Request(kind=POINT_BATCH)
+        with pytest.raises(ValueError, match="k"):
+            Request(kind=KNN_BATCH, points=np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="windows"):
+            Request(kind="window_batch")
+
+
+# ----------------------------------------------------------------------
+# Router failure handling against stub handles (no processes)
+# ----------------------------------------------------------------------
+class _StubHandle:
+    def __init__(self, shard_id, fail=(), result=True):
+        self.shard_id = shard_id
+        self.fail = list(fail)
+        self.result = result
+        self.requests = []
+        self.respawns = 0
+        self._alive = True
+
+    def alive(self):
+        return self._alive
+
+    def respawn(self):
+        self.respawns += 1
+        self._alive = True
+        self.fail = []
+        return {}
+
+    def request(self, command, *payload, timeout=None):
+        self.requests.append(command)
+        if self.fail:
+            raise self.fail.pop(0)
+        if command == "point_batch":
+            return np.ones(len(payload[0]), dtype=bool)
+        if command == "status":
+            return {"health": "healthy", "generation": 0, "n_points": 1}
+        return self.result
+
+    def close(self):
+        pass
+
+
+def _stub_router(handles, **config):
+    smap = ShardMap(
+        np.asarray([2**30] * 0, dtype=np.uint64), Rect.unit(), bits=16
+    )
+    cfg = RouterConfig(retry_base_delay=0.0, retry_max_delay=0.0, **config)
+    return ShardRouter(smap, handles, config=cfg)
+
+
+class TestRouterFailureHandling:
+    def test_overloaded_retries_then_succeeds(self):
+        handle = _StubHandle(0, fail=[ServerOverloaded("full")] * 2)
+        router = _stub_router([handle])
+        hits = router.point_queries(np.zeros((3, 2)))
+        assert hits.all()
+        assert handle.requests.count("point_batch") == 3
+        export = router.registry.export()
+        assert sum(e["value"] for e in export["router.retries"]) == 2
+
+    def test_overloaded_beyond_budget_raises(self):
+        handle = _StubHandle(0, fail=[ServerOverloaded("full")] * 9)
+        router = _stub_router([handle], max_retries=2)
+        with pytest.raises(ServerOverloaded):
+            router.point_queries(np.zeros((1, 2)))
+
+    def test_dead_shard_respawned_for_queries(self):
+        handle = _StubHandle(0, fail=[ShardUnavailable("dead", shard_id=0)])
+        handle._alive = False
+        router = _stub_router([handle])
+        assert router.point_queries(np.zeros((2, 2))).all()
+        assert handle.respawns == 1
+
+    def test_mid_request_death_not_retried_for_updates(self):
+        handle = _StubHandle(0, fail=[ShardUnavailable("died", shard_id=0)])
+        router = _stub_router([handle])
+        with pytest.raises(ShardUnavailable):
+            router.insert(np.array([0.5, 0.5]))
+        assert handle.respawns == 0  # at-most-once: no blind redo
+
+    def test_read_only_surfaces_with_partial_degradation(self):
+        handle = _StubHandle(0, fail=[ServerReadOnly("read only")])
+        router = _stub_router([handle])
+        with pytest.raises(ServerReadOnly):
+            router.insert(np.array([0.1, 0.1]))
+        handle.fail = [ServerReadOnly("read only")]
+        report = router.apply_updates(
+            [("insert", np.array([0.1, 0.1])), ("insert", np.array([0.9, 0.9]))]
+        )
+        assert report["applied"] == 1
+        assert [r["error"] for r in report["rejected"]] == ["ServerReadOnly"]
+        assert report["health"]["overall"] in ("healthy", "degraded")
+
+    def test_auto_respawn_off_surfaces_query_failures(self):
+        handle = _StubHandle(0, fail=[ShardUnavailable("dead", shard_id=0)])
+        router = _stub_router([handle], auto_respawn=False)
+        with pytest.raises(ShardUnavailable):
+            router.point_queries(np.zeros((1, 2)))
+        assert handle.respawns == 0
+
+
+# ----------------------------------------------------------------------
+# Multi-process parity vs the unsharded reference
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster(osm_points, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("shard-cluster")
+    router = build_cluster(
+        osm_points, directory, n_shards=3, elsi=_ELSI, serve=_SERVE
+    )
+    yield router
+    router.close()
+
+
+@pytest.fixture(scope="module")
+def reference(osm_points):
+    """The unsharded reference: one index over the same points."""
+    config = ELSIConfig(**_ELSI)
+    index = ZMIndex(builder=ELSIModelBuilder(config, method="SP"))
+    index.build(osm_points)
+    return UpdateProcessor(index, config, auto_rebuild=False)
+
+
+class TestClusterParity:
+    def test_point_parity(self, cluster, reference, osm_points):
+        rng = np.random.default_rng(5)
+        probes = np.vstack(
+            [osm_points[::7], rng.uniform(0.0, 1.0, size=(64, 2))]
+        )
+        got = cluster.point_queries(probes)
+        want = reference.point_queries(probes)
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+
+    def test_window_parity_bit_identical(self, cluster, reference, osm_points):
+        rng = np.random.default_rng(6)
+        windows = [
+            Rect.centered(osm_points[rng.integers(len(osm_points))],
+                          float(rng.uniform(0.02, 0.3)))
+            for _ in range(12)
+        ]
+        got = cluster.window_queries(windows)
+        want = reference.window_queries(windows)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(_canon(g), _canon(w))
+
+    def test_knn_parity_bit_identical(self, cluster, reference, osm_points):
+        queries = osm_points[::211]
+        for k in (1, 5, 16):
+            got = cluster.knn_queries(queries, k)
+            want = reference.knn_queries(queries, k)
+            for g, w in zip(got, want):
+                np.testing.assert_array_equal(_canon(g), _canon(w))
+
+    def test_knn_k_larger_than_shard(self, cluster, reference, osm_points):
+        # k close to a shard's whole population forces round two to widen
+        # across every shard.
+        got = cluster.knn_queries(osm_points[:1], 700)
+        want = reference.knn_queries(osm_points[:1], 700)
+        np.testing.assert_array_equal(_canon(got[0]), _canon(want[0]))
+
+    def test_update_routing_parity(self, cluster, reference, osm_points):
+        rng = np.random.default_rng(9)
+        inserts = rng.uniform(0.0, 1.0, size=(24, 2))
+        victims = osm_points[rng.choice(len(osm_points), 8, replace=False)]
+        for p in inserts:
+            cluster.insert(p)
+            reference.insert(p)
+        for p in victims:
+            assert cluster.delete(p) == reference.delete(p)
+        probes = np.vstack([inserts, victims])
+        np.testing.assert_array_equal(
+            cluster.point_queries(probes), reference.point_queries(probes)
+        )
+        window = Rect((0.0, 0.0), (1.0, 1.0))
+        np.testing.assert_array_equal(
+            _canon(cluster.window_queries([window])[0]),
+            _canon(reference.window_queries([window])[0]),
+        )
+
+    def test_health_and_merged_stats(self, cluster):
+        health = cluster.health_summary()
+        assert health["overall"] == "healthy"
+        assert len(health["shards"]) == 3
+        stats = cluster.stats_snapshot()
+        # Counters from all three workers summed into one series.
+        completed = sum(e["value"] for e in stats["serve.requests_completed"])
+        assert completed > 0
+        # Histograms merged with buckets, so a fleet p99 exists.
+        (latency,) = (
+            e
+            for e in stats["serve.request_latency_seconds"]
+            if not e["labels"]
+        )
+        assert latency["value"]["count"] > 0
+        assert sum(latency["value"]["buckets"]) == latency["value"]["count"]
+        # Router-side counters ride along in the same view.
+        assert "router.queries" in stats
+
+
+# ----------------------------------------------------------------------
+# Env propagation into workers (satellite)
+# ----------------------------------------------------------------------
+class TestEnvPropagation:
+    def test_capture_env_reads_current_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "index.query=error:1")
+        monkeypatch.setenv("REPRO_DTYPE", "float32")
+        env = capture_env()
+        assert env["REPRO_FAULTS"] == "index.query=error:1"
+        assert env["REPRO_DTYPE"] == "float32"
+        assert capture_env({"REPRO_PARALLELISM": "serial"})[
+            "REPRO_PARALLELISM"
+        ] == "serial"
+
+    def test_faults_armed_inside_shard_worker(self, osm_points, tmp_path):
+        # The parent process has no faults armed; the spec's env must arm
+        # the site inside the worker regardless of start-method inheritance.
+        assert "REPRO_FAULTS" not in os.environ
+        router = build_cluster(
+            osm_points[:400],
+            tmp_path,
+            n_shards=1,
+            elsi=_ELSI,
+            serve=_SERVE,
+            env={"REPRO_FAULTS": "index.query=error:1"},
+        )
+        with router:
+            with pytest.raises(InjectedFault):
+                router.point_queries(osm_points[:4])
+            # times=1: the armed fault fired once and disarmed itself.
+            assert router.point_queries(osm_points[:4]).all()
+            stats = router.stats_snapshot()
+            fired = sum(
+                e["value"]
+                for e in stats.get("faults.triggered", [])
+                if e["labels"].get("site") == "index.query"
+            )
+            assert fired == 1
+
+
+# ----------------------------------------------------------------------
+# Kill one shard mid-stream: zero acknowledged-update loss (satellite)
+# ----------------------------------------------------------------------
+class TestKillOneShardMidStream:
+    def test_router_recovers_with_zero_acked_loss(self, osm_points, tmp_path):
+        base = osm_points[:400]
+        router = build_cluster(
+            base, tmp_path, n_shards=2, elsi=_ELSI, serve=_SERVE
+        )
+        schedule = make_schedule(base, 40, seed=0)
+        live = [np.asarray(p, dtype=np.float64) for p in base]
+        owners_of = lambda p: int(  # noqa: E731
+            router.shard_map.shard_of_points(np.asarray(p)[None, :])[0]
+        )
+        with router:
+            acked = 0
+            for i, (op, point) in enumerate(schedule):
+                if i == len(schedule) // 2:
+                    # Kill shard 0's worker process mid-stream (os._exit,
+                    # no flushes) — acknowledged ops must survive.
+                    router.handles[0].crash()
+                    assert not router.handles[0].alive()
+                    # The surviving shard keeps serving while 0 is down:
+                    shard1_points = [
+                        p for p in live if owners_of(p) == 1
+                    ][:8]
+                    assert router.point_queries(
+                        np.asarray(shard1_points)
+                    ).all()
+                    assert router.health_summary()["shards"][0][
+                        "health"
+                    ] == "down"
+                if op == "insert":
+                    router.insert(point)
+                else:
+                    router.delete(point)
+                _apply_op(live, op, point)
+                acked += 1
+            assert acked == len(schedule)
+            # Shard 0 was respawned from snapshots + WAL along the way.
+            export = router.registry.export()
+            assert sum(e["value"] for e in export["router.respawns"]) >= 1
+            # Zero acknowledged loss: the fleet's state is exactly
+            # base + every acknowledged op.
+            everything = router.window_queries([Rect.unit()])[0]
+            np.testing.assert_array_equal(_canon(everything), _canon(live))
+            # And per-point membership agrees for all acked inserts.
+            inserted = [p for op, p in schedule if op == "insert"]
+            survivors = [
+                p for p in inserted if any(np.array_equal(p, q) for q in live)
+            ]
+            assert router.point_queries(np.asarray(survivors)).all()
+
+        # Multi-directory recovery: reopen the whole cluster from disk and
+        # the acknowledged state is still there.
+        reopened = open_cluster(tmp_path)
+        with reopened:
+            everything = reopened.window_queries([Rect.unit()])[0]
+            np.testing.assert_array_equal(_canon(everything), _canon(live))
