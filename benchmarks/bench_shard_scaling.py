@@ -12,9 +12,22 @@ two single-process baselines:
   ``submit_point_batch`` call, isolating how much of the sharded tier's
   advantage comes from batching alone vs from partitioned serving.
 
-The headline number is ``speedup_point_4x_vs_closed_loop`` — aggregate
-point-query throughput of the 4-shard cluster over the single-process
-closed-loop server.  Writes machine-readable ``BENCH_shard.json``.
+Two headline numbers, deliberately kept apart:
+
+- ``speedup_point_4x_vs_closed_loop`` — 4-shard cluster vs the
+  closed-loop single server.  This conflates batching with sharding
+  (the router always speaks batches), so it is large even on one core.
+  The 2.0x acceptance floor on it holds everywhere.
+- ``speedup_point_4x_vs_single_batch`` — 4-shard cluster vs the same
+  workload as one batch on one unsharded server.  This isolates what
+  *sharding itself* buys; it cannot exceed ~1.0x without real cores to
+  scale onto and smoke-sized batches cannot amortise the process
+  fan-out, so its 1.5x floor is enforced only when
+  ``os.cpu_count() >= 4`` and the scale is above ``smoke``
+  (``sharding_floor_enforced`` in the output records whether it was;
+  the number itself is always reported).
+
+Writes machine-readable ``BENCH_shard.json``.
 
 Run from the repo root (scale via ``REPRO_SCALE=smoke|default|large``):
 
@@ -159,17 +172,27 @@ def main() -> None:
             record["speedup_vs_closed_loop"] = (
                 record["point_qps"] / baselines["closed_loop"]
             )
+            record["speedup_vs_single_batch"] = (
+                record["point_qps"] / baselines["single_batch"]
+            )
             results.append(record)
             print(
                 f"shards={n_shards}  point {record['point_qps']:>10,.0f}/s  "
                 f"window {record['window_qps']:>8,.0f}/s  "
                 f"knn {record['knn_qps']:>8,.0f}/s  "
                 f"p99={record['fleet_p99_seconds']*1e3:6.2f}ms  "
-                f"{record['speedup_vs_closed_loop']:5.1f}x vs closed-loop"
+                f"{record['speedup_vs_closed_loop']:5.1f}x vs closed-loop  "
+                f"{record['speedup_vs_single_batch']:4.2f}x vs single batch"
             )
 
     at_four = next(r for r in results if r["n_shards"] == 4)
     speedup = at_four["speedup_vs_closed_loop"]
+    shard_speedup = at_four["speedup_vs_single_batch"]
+    # Sharding can only beat one server batching the same workload when
+    # there are cores for the shards to run on and batches big enough to
+    # amortise the process fan-out; otherwise the number is reported but
+    # not enforced.
+    sharding_floor_enforced = (os.cpu_count() or 1) >= 4 and scale.name != "smoke"
     payload = {
         "benchmark": "bench_shard_scaling",
         "scale": scale.name,
@@ -185,14 +208,28 @@ def main() -> None:
         "baselines": baselines,
         "results": results,
         "speedup_point_4x_vs_closed_loop": speedup,
+        "speedup_point_4x_vs_single_batch": shard_speedup,
+        "sharding_floor_enforced": sharding_floor_enforced,
     }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
-    print(f"wrote {args.output} (4-shard point speedup {speedup:.1f}x)")
+    print(
+        f"wrote {args.output} (4 shards: {speedup:.1f}x vs closed-loop, "
+        f"{shard_speedup:.2f}x vs single-server batch"
+        + ("" if sharding_floor_enforced else "; sharding floor not enforced "
+           f"(cpu_count={os.cpu_count()}, scale={scale.name})")
+        + ")"
+    )
     if speedup < 2.0:
         raise SystemExit(
             f"4-shard point throughput only {speedup:.2f}x the single-process "
             "closed-loop baseline (acceptance floor is 2.0x)"
+        )
+    if sharding_floor_enforced and shard_speedup < 1.5:
+        raise SystemExit(
+            f"4-shard point throughput only {shard_speedup:.2f}x the "
+            "single-server batched baseline on a multi-core host "
+            "(sharding floor is 1.5x) — sharding added no parallel benefit"
         )
 
 

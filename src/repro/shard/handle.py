@@ -2,13 +2,27 @@
 
 A handle owns the process object and the parent end of the control pipe,
 serialising requests on a per-handle lock (the protocol is strictly one
-request, one response).  Death detection is built into every receive:
-when the pipe goes EOF or the deadline passes while the process is no
-longer alive, the call raises :class:`ShardUnavailable` — the signal the
-router's recovery path keys on.  :meth:`respawn` restarts the worker with
-``recover=True`` so the replacement comes back from its own snapshots +
-WAL replay (``IndexServer.from_snapshot(..., wal=True)``) rather than a
-fresh (state-losing) build.
+request, one response).  Every request carries a monotonically
+increasing sequence id that the worker echoes back on its reply, so a
+response can never be attributed to the wrong request: replies whose
+sequence id doesn't match the in-flight request are stale leftovers of
+an earlier timed-out call and are discarded on receipt.
+
+Timeouts **poison** the handle.  When a request deadline passes, the
+worker still owes the reply — it may arrive on the pipe at any later
+moment — so the handle refuses further traffic (``request`` raises
+:class:`ShardUnavailable`, ``alive()`` reports ``False``) until
+:meth:`respawn` replaces both the worker process (killed if still
+running) and the pipe.  That is what keeps a wedged-but-alive worker
+from silently shifting every subsequent reply off by one.
+
+Death detection is built into every receive: when the pipe goes EOF or
+the deadline passes while the process is no longer alive, the call
+raises :class:`ShardUnavailable` — the signal the router's recovery path
+keys on.  :meth:`respawn` restarts the worker with ``recover=True`` so
+the replacement comes back from its own snapshots + WAL replay
+(``IndexServer.from_snapshot(..., wal=True)``) rather than a fresh
+(state-losing) build.
 """
 
 from __future__ import annotations
@@ -43,6 +57,8 @@ class ShardHandle:
         self._proc = None
         self._conn = None
         self._ready_status: dict | None = None
+        self._seq = 0
+        self._poisoned = False
         self._spawn()
 
     # ------------------------------------------------------------------
@@ -56,8 +72,16 @@ class ShardHandle:
         return self._ready_status
 
     def alive(self) -> bool:
+        """Whether the handle can take requests.  A poisoned handle (a
+        request timed out, leaving its reply un-consumed on the pipe)
+        reports ``False`` even while the wedged worker process still
+        runs — the router's respawn path treats both the same way."""
         with self._lock:
-            return self._proc is not None and self._proc.is_alive()
+            return (
+                not self._poisoned
+                and self._proc is not None
+                and self._proc.is_alive()
+            )
 
     # ------------------------------------------------------------------
     def _spawn(self) -> None:
@@ -72,7 +96,8 @@ class ShardHandle:
         child_conn.close()
         self._proc = proc
         self._conn = parent_conn
-        kind, payload = self._recv(self.start_timeout)
+        self._poisoned = False
+        kind, payload = self._recv_raw(self.start_timeout)
         if kind == "err":
             self._reap()
             raise payload
@@ -90,14 +115,18 @@ class ShardHandle:
             self._conn.close()
             self._conn = None
         if self._proc is not None:
+            if self._poisoned and self._proc.is_alive():
+                # A wedged worker never exits on its own — don't wait for
+                # a graceful join that cannot come.
+                self._proc.kill()
             self._proc.join(timeout=5.0)
             if self._proc.is_alive():  # pragma: no cover - last resort
                 self._proc.kill()
                 self._proc.join(timeout=5.0)
             self._proc = None
 
-    def _recv(self, timeout: float):
-        """Receive one response, watching for worker death the whole time."""
+    def _recv_raw(self, timeout: float):
+        """Receive one message, watching for worker death the whole time."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             wait = _POLL_SECONDS
@@ -126,25 +155,56 @@ class ShardHandle:
                     shard_id=self.shard_id,
                 )
 
+    def _recv_response(self, seq: int, timeout: float):
+        """Receive the ``(seq, kind, result)`` reply matching ``seq``,
+        discarding stale replies left over from earlier timed-out
+        requests (their sequence ids can never match)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            message = self._recv_raw(remaining)
+            if len(message) == 3 and message[0] == seq:
+                return message[1], message[2]
+
     # ------------------------------------------------------------------
     def request(self, command: str, *payload, timeout: float = 60.0):
-        """Send ``(command, *payload)``; return the result or raise the
-        worker's exception (or :class:`ShardUnavailable` on death)."""
+        """Send ``(seq, timeout, command, *payload)``; return the result
+        or raise the worker's exception (or :class:`ShardUnavailable` on
+        death / a poisoned handle, :class:`ShardTimeout` on deadline)."""
         with self._lock:
+            if self._poisoned:
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} handle is poisoned after a "
+                    "request timeout (its reply is still owed on the pipe); "
+                    "respawn before further requests",
+                    shard_id=self.shard_id,
+                )
             if self._proc is None or not self._proc.is_alive():
                 raise ShardUnavailable(
                     f"shard {self.shard_id} has no live worker",
                     shard_id=self.shard_id,
                 )
+            self._seq += 1
+            seq = self._seq
             try:
-                self._conn.send((command, *payload))
+                self._conn.send((seq, timeout, command, *payload))
             except (BrokenPipeError, OSError):
                 raise ShardUnavailable(
                     f"shard {self.shard_id} worker died before the request "
                     "could be sent",
                     shard_id=self.shard_id,
                 ) from None
-            kind, result = self._recv(timeout)
+            try:
+                kind, result = self._recv_response(seq, timeout)
+            except ShardTimeout:
+                # The worker still owes this reply; if we kept using the
+                # pipe it would be returned to the *next* request.  Refuse
+                # all further traffic until respawn() replaces the worker
+                # and the pipe.
+                self._poisoned = True
+                raise
         if kind == "err":
             raise result
         return result
@@ -152,7 +212,9 @@ class ShardHandle:
     def respawn(self) -> dict:
         """Replace a dead (or wedged) worker; recovery comes from disk.
 
-        The replacement always opens with ``recover=True`` — snapshots +
+        A poisoned worker that is still running is killed first — its
+        pipe may carry a stale reply that must never be read.  The
+        replacement always opens with ``recover=True`` — snapshots +
         WAL replay — so every update the dead worker acknowledged is
         present in the replacement.
         """
@@ -167,8 +229,9 @@ class ShardHandle:
         with self._lock:
             if self._proc is None:
                 return
+            self._seq += 1
             try:
-                self._conn.send(("crash",))
+                self._conn.send((self._seq, 0.0, "crash"))
             except (BrokenPipeError, OSError):
                 pass
             self._proc.join(timeout=10.0)
@@ -177,10 +240,13 @@ class ShardHandle:
         with self._lock:
             if self._proc is None:
                 return
-            if self._proc.is_alive():
+            if self._proc.is_alive() and not self._poisoned:
+                self._seq += 1
                 try:
-                    self._conn.send(("close",))
-                    self._recv(30.0)
+                    self._conn.send((self._seq, 30.0, "close"))
+                    self._recv_response(self._seq, 30.0)
                 except (ShardUnavailable, ShardTimeout, BrokenPipeError, OSError):
-                    pass
+                    # Graceful close failed — make _reap kill rather than
+                    # wait out a join that may never come.
+                    self._poisoned = True
             self._reap()

@@ -33,6 +33,11 @@ Failure handling (the PR 7 vocabulary, per shard)
   error surfaces: an acknowledged update is applied exactly once, and an
   unacknowledged one is reported, never silently retried across a crash
   boundary.
+- wedged worker (``ShardTimeout``) → the handle poisons itself (the
+  stale in-flight reply must never reach a later request), so the
+  router treats it exactly like a death: idempotent queries respawn the
+  shard (killing the wedged process) and retry; a timed-out *update*
+  surfaces — its outcome is unknown, so it is never resent.
 - ``ServerReadOnly`` → surfaces on single updates;
   :meth:`ShardRouter.apply_updates` instead degrades partially — healthy
   shards keep absorbing their updates, the read-only shard's rejections
@@ -56,7 +61,7 @@ import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.errors import ServerOverloaded, ServerReadOnly
-from repro.shard.errors import ShardUnavailable
+from repro.shard.errors import ShardTimeout, ShardUnavailable
 from repro.shard.handle import ShardHandle
 from repro.shard.shardmap import ShardMap
 
@@ -176,6 +181,19 @@ class ShardRouter:
                 )
             except ShardUnavailable:
                 self.registry.counter("router.shard_deaths", shard=shard_id).inc()
+                if not (idempotent and cfg.auto_respawn):
+                    raise
+                attempt += 1
+                if attempt > cfg.max_retries:
+                    raise
+                self._ensure_alive(shard_id)
+            except ShardTimeout:
+                # The handle poisoned itself (alive() is now False): the
+                # wedged worker must be killed and respawned before the
+                # shard can answer again.
+                self.registry.counter(
+                    "router.shard_timeouts", shard=shard_id
+                ).inc()
                 if not (idempotent and cfg.auto_respawn):
                     raise
                 attempt += 1
@@ -352,18 +370,19 @@ class ShardRouter:
             try:
                 self._update(op, point)
                 applied += 1
-            except (ServerReadOnly, ShardUnavailable) as exc:
+            except (ServerReadOnly, ShardUnavailable, ShardTimeout) as exc:
+                shard = getattr(exc, "shard_id", None)
+                if shard is None:
+                    shard = int(
+                        self.shard_map.shard_of_points(
+                            np.asarray(point, dtype=np.float64)[None, :]
+                        )[0]
+                    )
                 rejected.append(
                     {
                         "index": i,
                         "op": op,
-                        "shard": getattr(exc, "shard_id", None)
-                        if isinstance(exc, ShardUnavailable)
-                        else int(
-                            self.shard_map.shard_of_points(
-                                np.asarray(point, dtype=np.float64)[None, :]
-                            )[0]
-                        ),
+                        "shard": shard,
                         "error": type(exc).__name__,
                     }
                 )
@@ -388,8 +407,8 @@ class ShardRouter:
             sid = handle.shard_id
             try:
                 shards[sid] = self._call(sid, "status", idempotent=False)
-            except ShardUnavailable:
-                shards[sid] = {"health": "down"}
+            except (ShardUnavailable, ShardTimeout) as exc:
+                shards[sid] = {"health": "down", "error": type(exc).__name__}
         states = [s["health"] for s in shards.values()]
         if all(state == "down" for state in states):
             overall = "down"
@@ -403,19 +422,21 @@ class ShardRouter:
         """One fleet-wide metrics export: every live shard's
         ``stats_snapshot()`` merged (counters summed, histogram buckets
         added, gauges by freshest stamp) with the router's own counters.
-        Dead shards are skipped and counted on
+        Dead or wedged shards are skipped and counted on
         ``router.stats_unreachable``."""
         merged = MetricsRegistry()
-        merged.merge(self.registry.export())
         for handle in self.handles:
             try:
                 merged.merge(
                     self._call(handle.shard_id, "stats", idempotent=False)
                 )
-            except ShardUnavailable:
+            except (ShardUnavailable, ShardTimeout):
                 self.registry.counter(
                     "router.stats_unreachable", shard=handle.shard_id
                 ).inc()
+        # The router's own counters merge last so this very snapshot
+        # already reflects any shard found unreachable above.
+        merged.merge(self.registry.export())
         return merged.export()
 
 

@@ -103,12 +103,18 @@ class ShardMap:
             return cls(np.empty(0, dtype=np.uint64), bounds, curve=curve, bits=bits)
         keys = np.sort(cls._encode(pts, bounds, curve, bits))
         n = len(keys)
+        if n < n_shards:
+            raise ValueError(
+                f"cannot cut {n} keys into {n_shards} non-empty shards; "
+                "lower n_shards"
+            )
         boundaries: list[int] = []
         for i in range(1, n_shards):
+            # n >= n_shards guarantees cut >= 1, so shard 0 is non-empty.
             cut = i * n // n_shards
             # Snap forward past any run of equal keys so the boundary key
             # is the *first* key of the next shard, never mid-run.
-            while cut < n and cut > 0 and keys[cut] == keys[cut - 1]:
+            while cut < n and keys[cut] == keys[cut - 1]:
                 cut += 1
             if cut >= n:
                 raise ValueError(

@@ -12,14 +12,20 @@ building anything, so ``repro chaos``-style scenarios can target fault
 sites inside an individual shard regardless of how the process started.
 
 The control protocol over the duplex pipe is one request, one response:
-the parent sends ``(command, *payload)`` tuples and the worker answers
-``("ok", result)`` or ``("err", exception)`` — the server's typed errors
+the parent sends ``(seq, timeout, command, *payload)`` tuples and the
+worker answers ``(seq, "ok", result)`` or ``(seq, "err", exception)`` —
+the echoed sequence id lets the parent discard stale replies left over
+from timed-out requests, and the server's typed errors
 (``ServerOverloaded``, ``ServerReadOnly``, ...) pickle cleanly and cross
 the pipe as themselves, so the router handles the exact single-server
-failure vocabulary.  Query commands carry whole sub-batches and run
-through the server's batch request kinds (one queued ``Request`` per
-sub-batch), keeping the per-operation cost on the pipe and the queue
-negligible next to the vectorised query work.
+failure vocabulary.  Batch commands wait on the server's reply for
+slightly *less* than the parent's ``timeout`` (see :func:`_reply_wait`),
+so a queued-but-healthy server surfaces its typed ``RequestTimeout``
+over the pipe before the parent gives up and poisons the handle.  Query
+commands carry whole sub-batches and run through the server's batch
+request kinds (one queued ``Request`` per sub-batch), keeping the
+per-operation cost on the pipe and the queue negligible next to the
+vectorised query work.
 
 ``("crash",)`` makes the worker die with ``os._exit`` — no cleanup, no
 flushes — which is the chaos hook the kill-mid-stream recovery test uses.
@@ -197,31 +203,41 @@ def shard_worker_main(spec: WorkerSpec, conn) -> None:
                 message = conn.recv()
             except EOFError:
                 break
-            command, payload = message[0], message[1:]
+            seq, timeout, command = message[0], message[1], message[2]
+            payload = message[3:]
             if command == "crash":
                 os._exit(WORKER_CRASH_EXIT)
             if command == "close":
-                conn.send(("ok", None))
+                conn.send((seq, "ok", None))
                 break
             try:
-                conn.send(("ok", _dispatch(server, command, payload)))
+                conn.send((seq, "ok", _dispatch(server, command, payload, timeout)))
             except BaseException as exc:  # noqa: BLE001 - errors cross the pipe
-                conn.send(("err", exc))
+                conn.send((seq, "err", exc))
     finally:
         server.close()
         conn.close()
 
 
-def _dispatch(server, command: str, payload: tuple):
+def _reply_wait(timeout: float) -> float:
+    """How long a batch command waits on the server's reply: the
+    parent's deadline minus a margin, so a slow-but-alive server answers
+    with a typed ``RequestTimeout`` that still reaches the parent in
+    time instead of wedging the pipe past the parent's deadline."""
+    return max(0.05, timeout - max(0.5, 0.1 * timeout))
+
+
+def _dispatch(server, command: str, payload: tuple, timeout: float):
+    wait = _reply_wait(timeout)
     if command == "point_batch":
         (points,) = payload
-        return np.asarray(server.submit_point_batch(points).wait(60.0))
+        return np.asarray(server.submit_point_batch(points).wait(wait))
     if command == "window_batch":
         (windows,) = payload
-        return server.submit_window_batch(windows).wait(60.0)
+        return server.submit_window_batch(windows).wait(wait)
     if command == "knn_batch":
         points, k = payload
-        return server.submit_knn_batch(points, k).wait(60.0)
+        return server.submit_knn_batch(points, k).wait(wait)
     if command == "insert":
         (point,) = payload
         server.insert(point)

@@ -13,6 +13,7 @@ loss while the surviving shards keep serving.
 """
 
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -26,9 +27,12 @@ from repro.indices import ZMIndex
 from repro.serve import ServerOverloaded, ServerReadOnly
 from repro.shard import (
     RouterConfig,
+    ShardHandle,
     ShardMap,
     ShardRouter,
+    ShardTimeout,
     ShardUnavailable,
+    WorkerSpec,
     build_cluster,
     capture_env,
     open_cluster,
@@ -67,6 +71,14 @@ class TestShardMap:
         pts = np.repeat(np.random.default_rng(0).random((2, 2)), 50, axis=0)
         with pytest.raises(ValueError, match="shards"):
             ShardMap.from_points(pts, 8)
+
+    def test_fewer_points_than_shards_raises(self):
+        # n < n_shards: must raise, never silently build an empty shard.
+        pts = np.random.default_rng(1).random((3, 2))
+        with pytest.raises(ValueError, match="non-empty shards"):
+            ShardMap.from_points(pts, 8)
+        owners = ShardMap.from_points(pts, 3).shard_of_points(pts)
+        assert set(owners.tolist()) == {0, 1, 2}
 
     def test_window_routing_covers_contained_points(self, osm_points):
         smap = ShardMap.from_points(osm_points, 5)
@@ -195,8 +207,13 @@ class _StubHandle:
 
     def request(self, command, *payload, timeout=None):
         self.requests.append(command)
+        if not self._alive:
+            raise ShardUnavailable("no live worker", shard_id=self.shard_id)
         if self.fail:
-            raise self.fail.pop(0)
+            exc = self.fail.pop(0)
+            if isinstance(exc, ShardTimeout):
+                self._alive = False  # real handles poison themselves
+            raise exc
         if command == "point_batch":
             return np.ones(len(payload[0]), dtype=bool)
         if command == "status":
@@ -264,6 +281,127 @@ class TestRouterFailureHandling:
         with pytest.raises(ShardUnavailable):
             router.point_queries(np.zeros((1, 2)))
         assert handle.respawns == 0
+
+    def test_timed_out_shard_respawned_for_queries(self):
+        # A timeout poisons the handle; the router must respawn (killing
+        # the wedged worker) and retry idempotent queries transparently.
+        handle = _StubHandle(0, fail=[ShardTimeout("wedged", shard_id=0)])
+        router = _stub_router([handle])
+        assert router.point_queries(np.zeros((2, 2))).all()
+        assert handle.respawns == 1
+        export = router.registry.export()
+        assert sum(e["value"] for e in export["router.shard_timeouts"]) == 1
+
+    def test_timeout_on_update_surfaces_without_resend(self):
+        handle = _StubHandle(0, fail=[ShardTimeout("wedged", shard_id=0)])
+        router = _stub_router([handle])
+        with pytest.raises(ShardTimeout):
+            router.insert(np.array([0.5, 0.5]))
+        assert handle.respawns == 0  # outcome unknown: never resent
+
+    def test_wedged_shard_reported_down_in_health_and_stats(self):
+        handle = _StubHandle(
+            0,
+            fail=[
+                ShardTimeout("wedged", shard_id=0),
+                ShardTimeout("wedged", shard_id=0),
+            ],
+        )
+        router = _stub_router([handle])
+        health = router.health_summary()
+        assert health["shards"][0]["health"] == "down"
+        assert health["overall"] == "down"
+        handle._alive = True  # wedged again for the stats probe
+        stats = router.stats_snapshot()
+        assert sum(
+            e["value"] for e in stats["router.stats_unreachable"]
+        ) == 1
+
+    def test_apply_updates_rejects_timed_out_then_recovers(self):
+        handle = _StubHandle(0, fail=[ShardTimeout("wedged", shard_id=0)])
+        router = _stub_router([handle])
+        report = router.apply_updates(
+            [("insert", np.array([0.1, 0.1])), ("insert", np.array([0.9, 0.9]))]
+        )
+        # First update timed out (rejected, never resent); the poisoned
+        # handle was respawned before the second, which applied cleanly.
+        assert report["applied"] == 1
+        assert [r["error"] for r in report["rejected"]] == ["ShardTimeout"]
+        assert report["rejected"][0]["shard"] == 0
+        assert handle.respawns == 1
+
+
+# ----------------------------------------------------------------------
+# Handle wire protocol: sequence ids and timeout poisoning (no processes)
+# ----------------------------------------------------------------------
+class _FakeConn:
+    def __init__(self, replies=()):
+        self.sent = []
+        self.replies = list(replies)
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def poll(self, _timeout=0):
+        return bool(self.replies)
+
+    def recv(self):
+        if not self.replies:
+            raise EOFError
+        return self.replies.pop(0)
+
+    def close(self):
+        pass
+
+
+class _FakeProc:
+    exitcode = None
+
+    def is_alive(self):
+        return True
+
+
+def _bare_handle(conn):
+    handle = ShardHandle.__new__(ShardHandle)
+    handle.spec = WorkerSpec(shard_id=0, directory=".")
+    handle._lock = threading.RLock()
+    handle._seq = 0
+    handle._poisoned = False
+    handle._proc = _FakeProc()
+    handle._conn = conn
+    handle._ready_status = None
+    return handle
+
+
+class TestHandleProtocol:
+    def test_request_carries_seq_and_timeout(self):
+        conn = _FakeConn([(1, "ok", {"health": "healthy"})])
+        handle = _bare_handle(conn)
+        assert handle.request("status", timeout=7.5) == {"health": "healthy"}
+        assert conn.sent == [(1, 7.5, "status")]
+
+    def test_stale_reply_discarded_by_seq(self):
+        # A leftover reply from an earlier (timed-out) request must never
+        # be returned as the answer to the current one.
+        conn = _FakeConn([(1, "ok", "stale"), (2, "ok", "fresh")])
+        handle = _bare_handle(conn)
+        handle._seq = 1  # request #1 already timed out in the past
+        assert handle.request("status", timeout=5.0) == "fresh"
+
+    def test_timeout_poisons_handle(self):
+        handle = _bare_handle(_FakeConn())  # worker never answers
+        with pytest.raises(ShardTimeout):
+            handle.request("status", timeout=0.15)
+        assert not handle.alive()  # process runs, but handle refuses
+        with pytest.raises(ShardUnavailable, match="poisoned"):
+            handle.request("status", timeout=0.15)
+
+    def test_worker_error_reply_raises(self):
+        conn = _FakeConn([(1, "err", ServerOverloaded("full"))])
+        handle = _bare_handle(conn)
+        with pytest.raises(ServerOverloaded):
+            handle.request("status", timeout=5.0)
+        assert handle.alive()  # typed errors don't poison the pipe
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +500,31 @@ class TestClusterParity:
         assert sum(latency["value"]["buckets"]) == latency["value"]["count"]
         # Router-side counters ride along in the same view.
         assert "router.queries" in stats
+
+
+# ----------------------------------------------------------------------
+# Wedged-worker recovery end to end (real processes)
+# ----------------------------------------------------------------------
+class TestWedgedWorkerRecovery:
+    def test_poisoned_handle_is_killed_and_respawned(self, osm_points, tmp_path):
+        base = osm_points[:300]
+        router = build_cluster(
+            base, tmp_path, n_shards=1, elsi=_ELSI, serve=_SERVE
+        )
+        with router:
+            handle = router.handles[0]
+            old_pid = handle._proc.pid
+            # Exactly the state a request timeout leaves behind: worker
+            # process still running, handle refusing traffic.
+            handle._poisoned = True
+            assert handle._proc.is_alive() and not handle.alive()
+            # Idempotent queries recover transparently: the wedged worker
+            # is killed and the replacement comes back from disk.
+            assert router.point_queries(base[:4]).all()
+            assert handle.alive()
+            assert handle._proc.pid != old_pid
+            export = router.registry.export()
+            assert sum(e["value"] for e in export["router.respawns"]) == 1
 
 
 # ----------------------------------------------------------------------
