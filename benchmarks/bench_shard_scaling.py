@@ -90,6 +90,16 @@ def _fleet_p99(stats: dict) -> float:
     return float("nan")
 
 
+def _worker_cpu_seconds(stats: dict) -> dict:
+    """Per-shard cumulative worker CPU (user+system) from the merged
+    export — the ``worker.cpu_seconds`` gauge each stats reply carries."""
+    return {
+        entry["labels"]["shard"]: float(entry["value"])
+        for entry in stats.get("worker.cpu_seconds", ())
+        if "shard" in entry["labels"]
+    }
+
+
 def _bench_baselines(points, probes, scale) -> dict:
     config = ELSIConfig(train_epochs=scale.train_epochs)
     index = ZMIndex(builder=ELSIModelBuilder(config, method="SP")).build(points)
@@ -121,6 +131,8 @@ def _bench_cluster(
         serve={"max_wait_seconds": 0.0},
     )
     with router:
+        cpu_before = _worker_cpu_seconds(router.stats_snapshot())
+        wall_start = time.perf_counter()
         point_qps = _best_qps(lambda: router.point_queries(probes), len(probes))
         window_qps = _best_qps(
             lambda: router.window_queries(windows), len(windows)
@@ -128,8 +140,17 @@ def _bench_cluster(
         knn_qps = _best_qps(
             lambda: router.knn_queries(knn_points, K), len(knn_points)
         )
+        wall_seconds = time.perf_counter() - wall_start
         stats = router.stats_snapshot()
         health = router.health_summary()["overall"]
+    # Scrape-to-scrape CPU deltas per worker: real parallel speedup shows
+    # as aggregate CPU exceeding wall time; pure batching does not.
+    cpu_after = _worker_cpu_seconds(stats)
+    worker_cpu = {
+        shard: round(cpu_after[shard] - cpu_before.get(shard, 0.0), 4)
+        for shard in sorted(cpu_after)
+    }
+    total_cpu = sum(worker_cpu.values())
     return {
         "n_shards": n_shards,
         "point_qps": point_qps,
@@ -137,6 +158,12 @@ def _bench_cluster(
         "knn_qps": knn_qps,
         "fleet_p99_seconds": _fleet_p99(stats),
         "health": health,
+        "workload_wall_seconds": wall_seconds,
+        "worker_cpu_seconds": worker_cpu,
+        "worker_cpu_total_seconds": total_cpu,
+        "cpu_utilisation_vs_wall": (
+            total_cpu / wall_seconds if wall_seconds > 0 else float("nan")
+        ),
     }
 
 
@@ -182,7 +209,9 @@ def main() -> None:
                 f"knn {record['knn_qps']:>8,.0f}/s  "
                 f"p99={record['fleet_p99_seconds']*1e3:6.2f}ms  "
                 f"{record['speedup_vs_closed_loop']:5.1f}x vs closed-loop  "
-                f"{record['speedup_vs_single_batch']:4.2f}x vs single batch"
+                f"{record['speedup_vs_single_batch']:4.2f}x vs single batch  "
+                f"cpu {record['worker_cpu_total_seconds']:.2f}s "
+                f"({record['cpu_utilisation_vs_wall']:.2f}x wall)"
             )
 
     at_four = next(r for r in results if r["n_shards"] == 4)

@@ -6,15 +6,20 @@ Run with the trace sink enabled::
 
 Exercises every instrumented path — ELSI build (method selection, training
 set, FFN training, error bounds), batch point/window/knn queries, the
-executor, and a serve session with a generation rebuild — then writes the
-metric registries to ``obs_metrics.json``.  CI renders the trace with
-``python -m repro obs report`` and asserts the acceptance-criteria spans
-are present (see ``.github/workflows/ci.yml``).
+executor, a serve session with a generation rebuild, and a 2-shard
+cluster answering a mixed batch with cross-process trace propagation —
+then writes the metric registries to ``obs_metrics.json`` and the fleet's
+``/metrics`` endpoint text to ``obs_fleet_metrics.txt``.  CI renders the
+trace with ``python -m repro obs report`` and asserts the
+acceptance-criteria spans are present — including the adopted-from-worker
+``serve.dispatch`` children under ``shard.scatter`` via
+``--require-cross`` (see ``.github/workflows/ci.yml``).
 """
 
 import json
 import os
 import sys
+import urllib.request
 
 import numpy as np
 
@@ -65,6 +70,56 @@ def main() -> int:
         server.rebuild_now()
         metrics = server.stats_snapshot()
 
+    # Sharded tier: a 2-shard cluster answering a mixed point/window/kNN
+    # batch.  Every scatter carries the trace context, so the workers'
+    # serve.dispatch spans come back adopted under shard.scatter — the
+    # cross-process tree the CI --require-cross assertion keys on.
+    import tempfile
+
+    from repro.shard import RouterConfig, build_cluster
+
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-shard-") as tmp:
+        router = build_cluster(
+            pts,
+            os.path.join(tmp, "cluster"),
+            n_shards=2,
+            elsi={"train_epochs": 30, "seed": 0},
+            serve={"max_wait_seconds": 0.0},
+            router_config=RouterConfig(
+                slo_targets={"point": 1.0, "window": 1.0, "knn": 1.0},
+                telemetry_interval=0.2,
+            ),
+        )
+        with router:
+            hits = router.point_queries(pts[:256])
+            assert bool(hits.all()), "sharded point misses on member points"
+            router.window_queries(
+                [Rect((0.1, 0.1), (0.3, 0.3)), Rect((0.5, 0.5), (0.9, 0.9))]
+            )
+            router.knn_queries(pts[:8], 5)
+            router.insert(np.array([0.17, 0.83]))
+            import time as _time
+
+            _time.sleep(0.5)  # let the telemetry poller scrape at least once
+            endpoint = router.serve_metrics(port=0)
+            with urllib.request.urlopen(
+                endpoint.url + "/metrics", timeout=10.0
+            ) as resp:
+                fleet_text = resp.read().decode("utf-8")
+            fleet_stats = router.stats_snapshot()
+        for required in (
+            "telemetry.scrape_age_seconds",
+            "telemetry.shard_up",
+            "slo.p99_seconds",
+            "slo.burn_rate",
+            "worker.cpu_seconds",
+        ):
+            assert required in fleet_stats, f"{required} missing from fleet stats"
+            assert required in fleet_text, f"{required} missing from /metrics"
+
+    with open("obs_fleet_metrics.txt", "w") as fh:
+        fh.write(fleet_text)
+    print(f"wrote obs_fleet_metrics.txt ({len(fleet_text.splitlines())} lines)")
     with open("obs_metrics.json", "w") as fh:
         json.dump(metrics, fh, indent=2, sort_keys=True)
     print(f"wrote obs_metrics.json ({len(metrics)} metric families)")

@@ -255,8 +255,23 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     import tempfile
 
     from repro.queries.workload import window_workload
-    from repro.shard import build_cluster
+    from repro.shard import RouterConfig, build_cluster
 
+    slo_targets = None
+    if args.slo_target:
+        slo_targets = {}
+        for spec in args.slo_target:
+            try:
+                kind, seconds = spec.split("=", 1)
+                slo_targets[kind] = float(seconds)
+            except ValueError:
+                print(f"bad --slo-target {spec!r} (want KIND=SECONDS)",
+                      file=sys.stderr)
+                return 2
+    router_config = RouterConfig(
+        slo_targets=slo_targets,
+        telemetry_interval=args.telemetry_interval,
+    )
     points = load_dataset(args.dataset, args.n, seed=args.seed)
     directory = args.dir or tempfile.mkdtemp(prefix="repro-shard-")
     print(f"building {args.shards} x {args.index} shards on {args.dataset} "
@@ -270,6 +285,7 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         curve=args.curve,
         elsi={"lam": args.lam, "train_epochs": args.epochs, "seed": args.seed},
         serve={"max_wait_seconds": 0.0},
+        router_config=router_config,
     )
     rng = np.random.default_rng(args.seed)
     n_points = args.requests
@@ -283,6 +299,9 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
     rows = []
     with router:
+        if args.metrics_port is not None:
+            endpoint = router.serve_metrics(port=args.metrics_port)
+            print(f"metrics endpoint: {endpoint.url}/metrics")
         started = time.perf_counter()
         hits = int(router.point_queries(probes).sum())
         seconds = time.perf_counter() - started
@@ -353,7 +372,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import load_trace, missing_spans, render_report
+    from repro.obs.report import (
+        check_cross_process,
+        load_trace,
+        missing_spans,
+        render_report,
+    )
 
     try:
         records = load_trace(args.trace)
@@ -373,6 +397,86 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             print(f"\nmissing required spans: {', '.join(missing)}", file=sys.stderr)
             return 1
         print(f"\nall {len(required)} required spans present")
+    if args.require_cross:
+        try:
+            root_name, child_name = args.require_cross.split(":", 1)
+        except ValueError:
+            print("--require-cross wants ROOT:CHILD (span names)",
+                  file=sys.stderr)
+            return 2
+        problem = check_cross_process(records, root_name, child_name)
+        if problem is not None:
+            print(f"\ncross-process check failed: {problem}", file=sys.stderr)
+            return 1
+        print(f"\ncross-process check passed: {root_name!r} has adopted "
+              f"{child_name!r} spans from another process sharing its "
+              "trace_id")
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import (
+        load_trace,
+        render_report,
+        request_ids,
+        request_spans,
+    )
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    ids = request_ids(records)
+    if args.list or not args.request:
+        if not ids:
+            print("trace carries no request_id-tagged spans", file=sys.stderr)
+            return 1
+        print(f"{len(ids)} request(s) in {args.trace}:")
+        for rid in ids:
+            print(f"  {rid}")
+        if not args.request:
+            print("\npick one with: repro obs trace "
+                  f"{args.trace} --request <id>")
+        return 0
+    subset = request_spans(records, args.request)
+    if not subset:
+        print(f"no spans tagged request_id={args.request!r} "
+              f"(known: {', '.join(ids) or 'none'})", file=sys.stderr)
+        return 1
+    pids = sorted({r.pid for r in subset})
+    print(f"request {args.request}: {len(subset)} spans across "
+          f"{len(pids)} process(es) {pids}")
+    print(render_report(subset, max_depth=args.depth, min_seconds=0.0))
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs.top import run_top
+
+    url = args.url.rstrip("/") + "/overview"
+
+    def source() -> dict:
+        with urlopen(url, timeout=10.0) as resp:
+            overview = json.loads(resp.read().decode("utf-8"))
+        shards = overview.get("shards")
+        if isinstance(shards, dict):
+            # JSON object keys are strings; the renderer sorts shard ids.
+            overview["shards"] = {int(k): v for k, v in shards.items()}
+        return overview
+
+    try:
+        run_top(source, interval=args.interval, iterations=args.iterations)
+    except URLError as exc:
+        print(f"cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -511,6 +615,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dir", default=None,
                    help="cluster directory (default: a fresh temp dir); "
                         "reusable with repro.shard.open_cluster")
+    p.add_argument("--telemetry-interval", type=float, default=None,
+                   help="start the background fleet-telemetry poller with "
+                        "this scrape interval (seconds)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve /metrics, /health and /overview on this "
+                        "port for the duration of the run (0 = ephemeral)")
+    p.add_argument("--slo-target", action="append", default=None,
+                   metavar="KIND=SECONDS",
+                   help="router SLO latency target (repeatable), e.g. "
+                        "--slo-target point=0.05 --slo-target knn=0.2")
     p.set_defaults(func=_cmd_shard)
 
     p = sub.add_parser("chaos", help="run the fault-injection chaos scenarios")
@@ -536,7 +650,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--require", default=None,
                    help="comma-separated span names that must be present "
                         "(exit 1 otherwise; the CI smoke assertion)")
+    p.add_argument("--require-cross", default=None, metavar="ROOT:CHILD",
+                   help="require a ROOT span with an adopted CHILD span "
+                        "from another process sharing ROOT's trace_id "
+                        "(exit 1 otherwise; the cross-process CI assertion)")
     p.set_defaults(func=_cmd_obs_report)
+    p = obs_sub.add_parser(
+        "trace", help="dump one request's cross-process span tree"
+    )
+    p.add_argument("trace", help="path to the JSON-lines trace file")
+    p.add_argument("--request", default=None,
+                   help="request id (from scatter spans / --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the request ids present in the trace")
+    p.add_argument("--depth", type=int, default=12,
+                   help="maximum span-tree depth to render")
+    p.set_defaults(func=_cmd_obs_trace)
+    p = obs_sub.add_parser(
+        "top", help="live fleet dashboard off a /metrics endpoint"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:9180",
+                   help="base URL of a router's metrics endpoint "
+                        "(repro shard --metrics-port / serve_metrics())")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh interval in seconds")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="frames to draw before exiting (default: forever)")
+    p.set_defaults(func=_cmd_obs_top)
     p = obs_sub.add_parser("flame", help="render a trace as a flame graph")
     p.add_argument("trace", help="path to the JSON-lines trace file")
     p.add_argument("--output", default="flame.svg",

@@ -12,20 +12,31 @@ observable end to end:
   in a :class:`MetricsRegistry` with text/JSON exporters (the machinery
   behind ``repro.serve.stats.ServerStats``);
 - :mod:`repro.obs.report` — per-phase cost breakdowns and span trees from
-  a trace file (``python -m repro obs report``).
+  a trace file (``python -m repro obs report``), including cross-process
+  trees adopted from shard workers;
+- :mod:`repro.obs.slo` — rolling-window latency quantiles and
+  error-budget burn per request kind (:class:`SLOTracker`);
+- :mod:`repro.obs.httpd` — a stdlib ``/metrics`` + ``/health`` +
+  ``/overview`` HTTP endpoint (:class:`MetricsServer`);
+- :mod:`repro.obs.top` — the ``repro obs top`` terminal dashboard
+  renderer.
 
 Everything is no-op cheap when disabled: a single boolean guard at each
 site, so the instrumented hot paths stay within the benchmark overhead
 budget (<5 %; see ``docs/observability.md``).
 """
 
+from repro.obs.httpd import MetricsServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
+    registry_from_export,
 )
+from repro.obs.slo import SLOConfig, SLOTarget, SLOTracker
+from repro.obs.top import render_top, run_top
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -33,6 +44,7 @@ from repro.obs.trace import (
     enable,
     enabled,
     get_tracer,
+    new_request_id,
     span,
     traced,
 )
@@ -42,6 +54,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
+    "SLOConfig",
+    "SLOTarget",
+    "SLOTracker",
     "SpanRecord",
     "Tracer",
     "disable",
@@ -49,6 +65,10 @@ __all__ = [
     "enabled",
     "get_registry",
     "get_tracer",
+    "new_request_id",
+    "registry_from_export",
+    "render_top",
+    "run_top",
     "span",
     "traced",
 ]

@@ -1,0 +1,137 @@
+"""A stdlib HTTP endpoint for the live observability surfaces.
+
+:class:`MetricsServer` wraps ``http.server.ThreadingHTTPServer`` around
+three caller-supplied thunks — ``metrics()`` (a
+:meth:`~repro.obs.metrics.MetricsRegistry.export`-format dict),
+``health()`` and ``overview()`` — and serves:
+
+- ``GET /metrics`` — Prometheus-style text lines (the export rehydrated
+  through :func:`~repro.obs.metrics.registry_from_export` so one code
+  path owns the text format);
+- ``GET /metrics.json`` — the raw export dict as JSON;
+- ``GET /health`` — the health summary as JSON, status 200 while any
+  shard answers and 503 when the fleet verdict is ``down``;
+- ``GET /overview`` — the per-shard dashboard rows as JSON (what
+  ``repro obs top`` renders).
+
+``port=0`` binds an ephemeral port (the resolved one is on
+:attr:`MetricsServer.port`), which is how tests and the obs-smoke CI run
+endpoints without colliding.  The server thread is a daemon and every
+request thread is too — a forgotten endpoint never blocks interpreter
+exit.  A thunk that raises answers 500 with the exception text instead
+of killing the serving thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import registry_from_export
+
+__all__ = ["MetricsServer"]
+
+
+def _jsonable(obj):
+    """JSON with a numpy fallback: scalar types from exports become
+    plain Python numbers instead of raising ``TypeError``."""
+    return json.dumps(
+        obj,
+        indent=2,
+        sort_keys=True,
+        default=lambda o: o.item() if hasattr(o, "item") else str(o),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    # The default handler logs every request to stderr; a scrape loop
+    # would drown real output.
+    def log_message(self, *args) -> None:  # noqa: D102
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                text = registry_from_export(owner.metrics()).export_text()
+                self._reply(200, text + "\n", "text/plain; charset=utf-8")
+            elif path == "/metrics.json":
+                self._reply(200, _jsonable(owner.metrics()), "application/json")
+            elif path == "/health":
+                summary = owner.health()
+                status = 503 if summary.get("overall") == "down" else 200
+                self._reply(status, _jsonable(summary), "application/json")
+            elif path == "/overview":
+                self._reply(200, _jsonable(owner.overview()), "application/json")
+            else:
+                self._reply(404, f"no such path {path!r}\n", "text/plain")
+        except Exception as exc:  # noqa: BLE001 - must answer, not die
+            self._reply(500, f"{type(exc).__name__}: {exc}\n", "text/plain")
+
+    def _reply(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class MetricsServer:
+    """Serve ``/metrics`` (+ json/health/overview) off caller thunks."""
+
+    def __init__(
+        self,
+        metrics,
+        health=None,
+        overview=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.metrics = metrics
+        self.health = health or (lambda: {"overall": "unknown"})
+        self.overview = overview or (lambda: {})
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="obs-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -33,6 +33,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "registry_from_export",
 ]
 
 #: Canonical label encoding: a sorted tuple of (key, value-string) pairs.
@@ -133,9 +134,11 @@ class Histogram:
         hi = self.base * 2.0**index
         return lo, hi
 
-    def record(self, value: float) -> None:
-        self.counts[self.bucket_index(value)] += 1
-        self.total += value
+    def record(self, value: float, count: int = 1) -> None:
+        """Record ``value`` — ``count`` times at once, for call sites where
+        every member of a batch observed the same latency."""
+        self.counts[self.bucket_index(value)] += count
+        self.total += value * count
         if value > self.max:
             self.max = value
 
@@ -341,6 +344,15 @@ class MetricsRegistry:
 
     def export_json(self) -> str:
         return json.dumps(self.export(), indent=2, sort_keys=True)
+
+
+def registry_from_export(exported: dict) -> MetricsRegistry:
+    """Rehydrate an :meth:`MetricsRegistry.export` dict into a registry —
+    how the ``/metrics`` endpoint turns a fleet snapshot (already merged,
+    already a plain dict) back into ``export_text()`` lines."""
+    registry = MetricsRegistry()
+    registry.merge(exported)
+    return registry
 
 
 #: The process-wide default registry: build/query/perf instrumentation

@@ -19,11 +19,14 @@ from repro.obs.trace import SpanRecord
 
 __all__ = [
     "build_tree",
+    "check_cross_process",
     "load_trace",
     "missing_spans",
     "phase_totals",
     "render_report",
     "render_tree",
+    "request_ids",
+    "request_spans",
 ]
 
 
@@ -48,7 +51,9 @@ def build_tree(
     """Return ``(roots, children_by_parent_id)``, both sorted by start time.
 
     A span whose parent never completed (ring-buffer eviction, crash
-    mid-span) is treated as a root rather than dropped.
+    mid-span, an adopted batch whose adoptive parent was evicted) is
+    promoted to a root with an ``orphan=true`` attribute rather than
+    dropped — the span is real work; only its causal link is lost.
     """
     by_id = {r.span_id: r for r in records}
     roots: list[SpanRecord] = []
@@ -57,6 +62,8 @@ def build_tree(
         if r.parent_id is not None and r.parent_id in by_id:
             children.setdefault(r.parent_id, []).append(r)
         else:
+            if r.parent_id is not None:
+                r.attrs.setdefault("orphan", True)
             roots.append(r)
     roots.sort(key=lambda r: r.start)
     for siblings in children.values():
@@ -94,6 +101,81 @@ def missing_spans(records: list[SpanRecord], required: list[str]) -> list[str]:
     """The required span names absent from the trace (CI smoke assertion)."""
     present = {r.name for r in records}
     return [name for name in required if name not in present]
+
+
+def request_ids(records: list[SpanRecord]) -> list[str]:
+    """Every distinct ``request_id`` attribute in the trace (span order)."""
+    seen: dict[str, None] = {}
+    for r in records:
+        rid = r.attrs.get("request_id")
+        if rid is not None:
+            seen.setdefault(str(rid), None)
+    return list(seen)
+
+
+def request_spans(records: list[SpanRecord], request_id: str) -> list[SpanRecord]:
+    """One request's spans: every span tagged with the id, plus all of
+    their descendants (the cross-process tree the router adopted)."""
+    children: dict[str, list[SpanRecord]] = {}
+    for r in records:
+        if r.parent_id is not None:
+            children.setdefault(r.parent_id, []).append(r)
+    tagged = [r for r in records if str(r.attrs.get("request_id")) == request_id]
+    keep: dict[str, SpanRecord] = {}
+    frontier = list(tagged)
+    while frontier:
+        rec = frontier.pop()
+        if rec.span_id in keep:
+            continue
+        keep[rec.span_id] = rec
+        frontier.extend(children.get(rec.span_id, ()))
+    return [r for r in records if r.span_id in keep]
+
+
+def check_cross_process(
+    records: list[SpanRecord], root_name: str, child_name: str
+) -> "str | None":
+    """CI assertion for cross-process propagation: some ``root_name`` span
+    must have a ``child_name`` descendant from a *different pid* sharing
+    the root's ``trace_id``.  Returns an error message, or None on pass."""
+    children: dict[str, list[SpanRecord]] = {}
+    for r in records:
+        if r.parent_id is not None:
+            children.setdefault(r.parent_id, []).append(r)
+    roots = [r for r in records if r.name == root_name]
+    if not roots:
+        return f"no {root_name!r} spans in the trace"
+    saw_child = saw_remote = False
+    for root in roots:
+        frontier = list(children.get(root.span_id, ()))
+        seen: set[str] = set()
+        while frontier:
+            rec = frontier.pop()
+            if rec.span_id in seen:
+                continue
+            seen.add(rec.span_id)
+            frontier.extend(children.get(rec.span_id, ()))
+            if rec.name != child_name:
+                continue
+            saw_child = True
+            if rec.pid != root.pid:
+                saw_remote = True
+                if rec.trace_id == root.trace_id and root.trace_id is not None:
+                    return None
+    if not saw_child:
+        return (
+            f"no {root_name!r} span has a {child_name!r} descendant "
+            "(trace context did not reach the workers)"
+        )
+    if not saw_remote:
+        return (
+            f"every {child_name!r} descendant of {root_name!r} ran in the "
+            "same process (no cross-process spans were adopted)"
+        )
+    return (
+        f"cross-process {child_name!r} spans exist but none shares its "
+        f"{root_name!r} root's trace_id"
+    )
 
 
 def _format_attrs(attrs: dict, limit: int = 4) -> str:

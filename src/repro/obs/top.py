@@ -1,0 +1,139 @@
+"""``repro obs top`` — an ANSI-refresh terminal dashboard for the fleet.
+
+Rendering is a pure function (:func:`render_top`) from one or two
+overview snapshots (the :meth:`~repro.shard.telemetry.FleetTelemetry.overview`
+contract) to a text frame, so tests assert on strings; the refresh loop
+(:func:`run_top`) just clears the screen (``ESC[2J ESC[H``), calls a
+snapshot source, and sleeps.  Per-shard qps comes from the delta of the
+``serve.requests_completed`` counter between consecutive frames divided
+by the interval — the first frame shows ``-`` because there is nothing
+to difference yet.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["render_top", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+_COLUMNS = (
+    ("shard", 5),
+    ("state", 9),
+    ("gen", 4),
+    ("points", 9),
+    ("qps", 8),
+    ("queue", 6),
+    ("gen_age", 8),
+    ("p99_ms", 8),
+    ("cpu_s", 8),
+    ("scrape", 7),
+)
+
+
+def _fmt(value, width: int, precision: int = 1) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def _shard_qps(shard: dict, prev_shard: "dict | None", interval: float):
+    if prev_shard is None or interval <= 0:
+        return None
+    delta = shard.get("requests_completed", 0.0) - prev_shard.get(
+        "requests_completed", 0.0
+    )
+    return max(0.0, delta / interval)
+
+
+def render_top(
+    overview: dict,
+    prev: "dict | None" = None,
+    interval: float = 1.0,
+) -> str:
+    """One dashboard frame from an overview snapshot (and optionally the
+    previous one, for qps deltas)."""
+    lines = [
+        f"repro fleet — {overview.get('n_shards', 0)} shards — "
+        f"overall {overview.get('overall', 'unknown')}"
+    ]
+    header = " ".join(name.rjust(width) for name, width in _COLUMNS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    prev_shards = (prev or {}).get("shards", {})
+    for sid, shard in sorted(overview.get("shards", {}).items()):
+        state = shard.get("health", "down")
+        if not shard.get("up", False):
+            state = f"DOWN:{shard.get('error') or '?'}"[: _COLUMNS[1][1]]
+        qps = _shard_qps(shard, prev_shards.get(sid), interval)
+        row = (
+            _fmt(sid, 5),
+            _fmt(state, 9),
+            _fmt(shard.get("generation"), 4),
+            _fmt(shard.get("n_points"), 9),
+            _fmt(qps, 8),
+            _fmt(int(shard.get("queue_depth", 0)), 6),
+            _fmt(shard.get("generation_age_seconds"), 8),
+            _fmt(
+                None
+                if shard.get("p99_seconds") is None
+                else shard["p99_seconds"] * 1e3,
+                8,
+                precision=2,
+            ),
+            _fmt(shard.get("cpu_seconds"), 8),
+            _fmt(shard.get("scrape_age_seconds"), 7),
+        )
+        lines.append(" ".join(row))
+    slo = overview.get("slo") or {}
+    if slo:
+        lines.append("")
+        lines.append("SLO (router, rolling window)")
+        for kind in sorted(slo):
+            entry = slo[kind]
+            parts = [
+                f"  {kind:<8} p50 {entry.get('p50', 0) * 1e3:8.2f}ms",
+                f"p99 {entry.get('p99', 0) * 1e3:8.2f}ms",
+                f"p999 {entry.get('p999', 0) * 1e3:8.2f}ms",
+                f"n {entry.get('n', 0):>7}",
+            ]
+            if "burn_rate" in entry:
+                parts.append(
+                    f"burn {entry['burn_rate']:5.2f} "
+                    f"(target {entry['target_latency'] * 1e3:.1f}ms"
+                    f"@p{entry['target_quantile']:g})"
+                )
+            lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    source,
+    interval: float = 1.0,
+    iterations: "int | None" = None,
+    out=None,
+) -> None:
+    """Clear-and-redraw loop: ``source()`` → :func:`render_top` → sleep.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
+    a finite count is the test/CI mode.  ``out`` defaults to stdout.
+    """
+    stream = out if out is not None else sys.stdout
+    prev = None
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            overview = source()
+            stream.write(_CLEAR + render_top(overview, prev, interval))
+            stream.flush()
+            prev = overview
+            n += 1
+            if iterations is not None and n >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass

@@ -24,6 +24,20 @@ workers are collected with :meth:`Tracer.capture` and shipped back to the
 parent as plain dicts, where :meth:`Tracer.adopt` re-parents and stores
 them — see :mod:`repro.perf.executor` for the wiring.  Span ids embed the
 pid, so parent and worker ids never collide.
+
+Distributed traces: every span carries a ``trace_id`` — inherited from the
+enclosing span (or the ambient context a worker was seeded with), else the
+span's own id, so a trace id names the *root* of a causally-linked tree.
+The shard router attaches ``(trace_id, parent_span_id, request_id)`` to
+each scatter sub-request; the worker opens an ambient scope with both ids,
+captures its spans, and ships them back for :meth:`Tracer.adopt` — which
+stamps the caller's ``trace_id`` over the whole adopted batch — so one
+request's tree spans every process that served it (see repro.shard).
+
+The JSONL sink is line-atomic: each record is one ``os.write`` to an
+``O_APPEND`` descriptor, so concurrent writers — scatter threads in one
+process, or several worker processes streaming to the same file — never
+interleave or tear a line.
 """
 
 from __future__ import annotations
@@ -44,6 +58,7 @@ __all__ = [
     "enable",
     "enabled",
     "get_tracer",
+    "new_request_id",
     "span",
     "traced",
 ]
@@ -52,12 +67,19 @@ ENV_TRACE = "REPRO_TRACE"
 ENV_OBS = "REPRO_OBS"
 
 _id_counter = itertools.count(1)
+_request_counter = itertools.count(1)
 
 
 def _new_span_id() -> str:
     # The pid prefix keeps ids unique across fork/spawn worker processes,
     # whose counters start as copies of (or fresh from) the parent's.
     return f"{os.getpid():x}-{next(_id_counter)}"
+
+
+def new_request_id() -> str:
+    """A process-unique request id (attached to scatter spans so
+    ``repro obs trace --request <id>`` can pull one request's tree)."""
+    return f"req-{os.getpid():x}-{next(_request_counter)}"
 
 
 class SpanRecord:
@@ -72,6 +94,7 @@ class SpanRecord:
         "attrs",
         "pid",
         "thread",
+        "trace_id",
     )
 
     def __init__(
@@ -84,6 +107,7 @@ class SpanRecord:
         attrs: dict,
         pid: int,
         thread: str,
+        trace_id: "str | None" = None,
     ) -> None:
         self.name = name
         self.span_id = span_id
@@ -93,6 +117,7 @@ class SpanRecord:
         self.attrs = attrs
         self.pid = pid
         self.thread = thread
+        self.trace_id = trace_id
 
     def to_dict(self) -> dict:
         return {
@@ -104,6 +129,7 @@ class SpanRecord:
             "attrs": self.attrs,
             "pid": self.pid,
             "thread": self.thread,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -117,6 +143,7 @@ class SpanRecord:
             attrs=data.get("attrs", {}),
             pid=data.get("pid", 0),
             thread=data.get("thread", ""),
+            trace_id=data.get("trace_id"),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -132,6 +159,8 @@ class _NoopSpan:
 
     __slots__ = ()
     span_id = None
+    parent_id = None
+    trace_id = None
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -149,7 +178,10 @@ _NOOP = _NoopSpan()
 class _Span:
     """A live span: records itself on ``__exit__``."""
 
-    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start", "_t0")
+    __slots__ = (
+        "_tracer", "name", "attrs", "span_id", "parent_id", "trace_id",
+        "_start", "_t0",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
@@ -157,6 +189,7 @@ class _Span:
         self.attrs = attrs
         self.span_id = _new_span_id()
         self.parent_id: str | None = None
+        self.trace_id: str | None = None
         self._start = 0.0
         self._t0 = 0.0
 
@@ -166,8 +199,13 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         stack = self._tracer._stack()
+        traces = self._tracer._trace_stack()
         self.parent_id = stack[-1] if stack else None
+        # A root span starts a new trace named after itself; nested spans
+        # inherit, so every span in one causal tree shares one trace id.
+        self.trace_id = traces[-1] if traces else self.span_id
         stack.append(self.span_id)
+        traces.append(self.trace_id)
         self._start = time.time()
         self._t0 = time.perf_counter()
         return self
@@ -177,6 +215,14 @@ class _Span:
         stack = self._tracer._stack()
         if stack and stack[-1] == self.span_id:
             stack.pop()
+        traces = self._tracer._trace_stack()
+        if traces and traces[-1] == self.trace_id:
+            traces.pop()
+        if exc_info and exc_info[0] is not None:
+            # Failure branches stay visible in the tree (retries, shard
+            # deaths, read-only rejections) without call sites having to
+            # tag them by hand.
+            self.attrs.setdefault("error", getattr(exc_info[0], "__name__", "error"))
         self._tracer._record(
             SpanRecord(
                 name=self.name,
@@ -187,28 +233,41 @@ class _Span:
                 attrs=self.attrs,
                 pid=os.getpid(),
                 thread=threading.current_thread().name,
+                trace_id=self.trace_id,
             )
         )
 
 
 class _Ambient:
-    """Context manager that seeds a thread's parent id (executor workers)."""
+    """Context manager that seeds a thread's parent id — and, for
+    cross-process propagation, the trace id — for spans opened inside the
+    scope (executor workers, shard workers)."""
 
-    __slots__ = ("_tracer", "_parent")
+    __slots__ = ("_tracer", "_parent", "_trace")
 
-    def __init__(self, tracer: "Tracer", parent_id: "str | None") -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        parent_id: "str | None",
+        trace_id: "str | None" = None,
+    ) -> None:
         self._tracer = tracer
         self._parent = parent_id
+        self._trace = trace_id if trace_id is not None else parent_id
 
     def __enter__(self) -> None:
         if self._parent is not None:
             self._tracer._stack().append(self._parent)
+            self._tracer._trace_stack().append(self._trace)
 
     def __exit__(self, *exc_info) -> None:
         if self._parent is not None:
             stack = self._tracer._stack()
             if stack and stack[-1] == self._parent:
                 stack.pop()
+            traces = self._tracer._trace_stack()
+            if traces and traces[-1] == self._trace:
+                traces.pop()
 
 
 class _Capture:
@@ -243,7 +302,10 @@ class Tracer:
         self.ring_size = ring_size
         self._buffer: list[SpanRecord] = []
         self._lock = threading.Lock()
-        self._sink = None  # open file object for JSONL streaming
+        # O_APPEND file descriptor for JSONL streaming: one os.write per
+        # record keeps lines atomic under concurrent writers (threads here,
+        # and other processes appending to the same path).
+        self._sink: int | None = None
         self.sink_path: str | None = None
         self._local = threading.local()
         # Capture sinks are worker-process-local redirections (see _Capture);
@@ -262,8 +324,10 @@ class Tracer:
                 self.ring_size = ring_size
             if path is not None and path != self.sink_path:
                 if self._sink is not None:
-                    self._sink.close()
-                self._sink = open(path, "a", buffering=1)
+                    os.close(self._sink)
+                self._sink = os.open(
+                    path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+                )
                 self.sink_path = path
             self._enabled = True
 
@@ -271,7 +335,7 @@ class Tracer:
         with self._lock:
             self._enabled = False
             if self._sink is not None:
-                self._sink.close()
+                os.close(self._sink)
                 self._sink = None
             self.sink_path = None
 
@@ -287,9 +351,19 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _trace_stack(self) -> list:
+        traces = getattr(self._local, "traces", None)
+        if traces is None:
+            traces = self._local.traces = []
+        return traces
+
     def current_span_id(self) -> "str | None":
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_trace_id(self) -> "str | None":
+        traces = self._trace_stack()
+        return traces[-1] if traces else None
 
     def span(self, name: str, **attrs):
         """A context manager recording one span (no-op when disabled)."""
@@ -297,9 +371,13 @@ class Tracer:
             return _NOOP
         return _Span(self, name, attrs)
 
-    def ambient(self, parent_id: "str | None"):
-        """Seed this thread's parent id for spans opened inside the scope."""
-        return _Ambient(self, parent_id)
+    def ambient(self, parent_id: "str | None", trace_id: "str | None" = None):
+        """Seed this thread's parent id (and trace id) for spans opened
+        inside the scope.  Without an explicit ``trace_id`` the parent id
+        doubles as the trace id — right for a worker whose parent span is
+        itself a trace root, wrong otherwise, so in-process dispatchers
+        pass the current trace id through."""
+        return _Ambient(self, parent_id, trace_id=trace_id)
 
     def capture(self):
         """Collect spans locally instead of publishing (worker processes)."""
@@ -315,14 +393,29 @@ class Tracer:
             if len(self._buffer) > self.ring_size:
                 del self._buffer[: len(self._buffer) - self.ring_size]
             if self._sink is not None:
-                self._sink.write(json.dumps(record.to_dict()) + "\n")
+                # A single write of the whole encoded line to an O_APPEND
+                # fd: concurrent writers (other threads are already
+                # serialised by this lock, but other *processes* are not)
+                # cannot interleave or truncate it.
+                os.write(
+                    self._sink,
+                    (json.dumps(record.to_dict()) + "\n").encode("utf-8"),
+                )
 
-    def adopt(self, records: "list[dict] | list[SpanRecord]", parent_id: "str | None" = None) -> None:
+    def adopt(
+        self,
+        records: "list[dict] | list[SpanRecord]",
+        parent_id: "str | None" = None,
+        trace_id: "str | None" = None,
+    ) -> None:
         """Merge spans captured in a worker back into this tracer.
 
         Worker-root spans (no parent over there) are re-parented under
         ``parent_id`` so the trace tree stays connected; child links within
-        the worker batch are preserved as-is (ids are pid-unique).
+        the worker batch are preserved as-is (ids are pid-unique).  With a
+        ``trace_id``, every adopted span is stamped with it — the whole
+        batch becomes part of the caller's trace, including spans that were
+        roots (their own traces) inside the worker.
         """
         batch_ids = set()
         parsed: list[SpanRecord] = []
@@ -333,6 +426,8 @@ class Tracer:
         for rec in parsed:
             if rec.parent_id is None or rec.parent_id not in batch_ids:
                 rec.parent_id = parent_id
+            if trace_id is not None:
+                rec.trace_id = trace_id
             self._record(rec)
 
     def spans(self) -> list[SpanRecord]:

@@ -96,13 +96,16 @@ def _call_task(task: "tuple[Callable[..., R], tuple]") -> R:
 
 
 def _traced_thread_chunk(
-    fn: Callable[[T], R], chunk: Sequence[T], parent_id: "str | None"
+    fn: Callable[[T], R],
+    chunk: Sequence[T],
+    parent_id: "str | None",
+    trace_id: "str | None" = None,
 ) -> tuple[list[R], float]:
     """Thread-backend chunk with a ``perf.chunk`` span parented under the
     dispatching ``perf.map`` span; returns (results, busy seconds)."""
     tracer = _trace.get_tracer()
     started = time.perf_counter()
-    with tracer.ambient(parent_id):
+    with tracer.ambient(parent_id, trace_id=trace_id):
         with tracer.span("perf.chunk", jobs=len(chunk)):
             results = [fn(item) for item in chunk]
     return results, time.perf_counter() - started
@@ -261,11 +264,14 @@ class MapExecutor:
         ) as map_span:
             elapsed_t0 = time.perf_counter()
             if self.backend == "thread":
-                parent_id = map_span.span_id
+                parent_id, trace_id = map_span.span_id, map_span.trace_id
                 with ThreadPoolExecutor(max_workers=self.workers) as pool:
                     outcomes = list(
                         pool.map(
-                            lambda c: _traced_thread_chunk(fn, c, parent_id), chunks
+                            lambda c: _traced_thread_chunk(
+                                fn, c, parent_id, trace_id
+                            ),
+                            chunks,
                         )
                     )
                 chunk_results = [results for results, _busy in outcomes]
@@ -278,7 +284,11 @@ class MapExecutor:
                 chunk_results = [results for results, _busy, _spans in outcomes]
                 busy = sum(b for _results, b, _spans in outcomes)
                 for _results, _busy, span_dicts in outcomes:
-                    tracer.adopt(span_dicts, parent_id=map_span.span_id)
+                    tracer.adopt(
+                        span_dicts,
+                        parent_id=map_span.span_id,
+                        trace_id=map_span.trace_id,
+                    )
             elapsed = time.perf_counter() - elapsed_t0
             if elapsed > 0:
                 map_span.set(

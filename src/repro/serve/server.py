@@ -60,6 +60,7 @@ from repro.core.update_processor import RebuildPredictor, UpdateProcessor
 from repro.faults.registry import fault_check, get_fault_registry
 from repro.indices.base import LearnedSpatialIndex
 from repro.obs.metrics import get_registry
+from repro.obs.slo import SLOConfig, SLOTracker
 from repro.obs.trace import span as _span
 from repro.serve.errors import (
     RebuildFailed,
@@ -103,6 +104,16 @@ READ_ONLY = "read_only"
 
 _HEALTH_LEVELS = {HEALTHY: 0, DEGRADED: 1, READ_ONLY: 2}
 
+#: Request kind → SLO latency kind (batch kinds fold into their scalar kind).
+_SLO_KINDS = {
+    POINT: "point",
+    POINT_BATCH: "point",
+    WINDOW: "window",
+    WINDOW_BATCH: "window",
+    KNN: "knn",
+    KNN_BATCH: "knn",
+}
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -145,6 +156,17 @@ class ServeConfig:
     fsync_policy:
         WAL durability: ``always`` / ``batch`` / ``off`` (see
         :mod:`repro.serve.wal`).
+    slo_targets:
+        Optional per-kind latency objectives, ``{"point": 0.05}`` or
+        ``{"point": {"latency": 0.05, "quantile": 99.0}}`` (see
+        :mod:`repro.obs.slo`).  When set, the server tracks rolling
+        p50/p99/p999 and error-budget burn per kind, publishes them in
+        :meth:`IndexServer.stats_snapshot`, and walks health to
+        ``degraded`` while any kind's burn rate is at or past its
+        budget (back to ``healthy`` once it recovers).  ``None`` (the
+        default) keeps the request path entirely SLO-free.
+    slo_window_seconds:
+        Rolling-window length for those estimators.
     """
 
     max_batch_size: int = 256
@@ -158,6 +180,8 @@ class ServeConfig:
     retry_base_delay: float = 0.05
     retry_max_delay: float = 2.0
     fsync_policy: str = "always"
+    slo_targets: "dict | None" = None
+    slo_window_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -191,6 +215,10 @@ class ServeConfig:
         if self.fsync_policy not in FSYNC_POLICIES:
             raise ValueError(
                 f"fsync_policy must be one of {FSYNC_POLICIES}, got {self.fsync_policy!r}"
+            )
+        if self.slo_window_seconds <= 0:
+            raise ValueError(
+                f"slo_window_seconds must be positive, got {self.slo_window_seconds}"
             )
 
 
@@ -276,6 +304,19 @@ class IndexServer:
         self._swap_hist = self.stats.registry.histogram("serve.swap_seconds")
         self._health_gauge = self.stats.registry.gauge("serve.health_state")
         self._wal_gauge = self.stats.registry.gauge("serve.wal_depth")
+        self._queue_gauge = self.stats.registry.gauge("serve.queue_depth")
+        # SLO tracking is opt-in per config: without targets the request
+        # path never touches it (the zero-overhead default the benchmark
+        # parity budget assumes).
+        self.slo: SLOTracker | None = None
+        self._slo_degraded = False
+        if self.config.slo_targets:
+            self.slo = SLOTracker(
+                SLOConfig(
+                    targets=self.config.slo_targets,
+                    window_seconds=self.config.slo_window_seconds,
+                )
+            )
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
         self._rebuild_wanted = threading.Event()
@@ -489,16 +530,34 @@ class IndexServer:
         self._health = state
         self._health_gauge.set(_HEALTH_LEVELS[state])
 
+    def _check_slo(self) -> None:
+        """Feed error-budget burn into the health walk: burning kinds
+        degrade a healthy server; recovery (only from an SLO-caused
+        degradation — rebuild failures own their own walk) restores it."""
+        burning = self.slo.burning()
+        if burning:
+            if self._health == HEALTHY:
+                self._slo_degraded = True
+                self._set_health(DEGRADED)
+                self.stats.registry.counter("serve.slo_degradations").inc()
+        elif self._slo_degraded and self._health == DEGRADED:
+            self._slo_degraded = False
+            self._set_health(HEALTHY)
+
     def stats_snapshot(self) -> dict:
         """Exporter-format metrics dump: this server's registry (requests,
         batches, rebuilds, swap latency, journal depth, generation age,
-        health, WAL depth, shed/retry counters) merged with the
-        process-wide registry (build/query/perf/fault metrics).
+        health, queue depth, WAL depth, shed/retry counters, SLO
+        quantile/burn gauges) merged with the process-wide registry
+        (build/query/perf/fault metrics).
         ``{name: [{labels, kind, value}, ...]}``, JSON-able."""
         self._age_gauge.set(time.time() - self._gen_swapped_at)
         self._health_gauge.set(_HEALTH_LEVELS[self._health])
+        self._queue_gauge.set(self._queue.qsize())
         if self.wal is not None:
             self._wal_gauge.set(self.wal.depth)
+        if self.slo is not None:
+            self.slo.publish(self.stats.registry)
         out = dict(get_registry().export())
         out.update(self.stats.registry.export())
         return out
@@ -592,6 +651,7 @@ class IndexServer:
         return self._apply_update("delete", np.asarray(point, dtype=np.float64))
 
     def _apply_update(self, op: str, point: np.ndarray):
+        update_t0 = time.perf_counter() if self.slo is not None else 0.0
         if self._closed:
             raise ServerClosed("server is closed; updates after close() are rejected")
         if self._health == READ_ONLY:
@@ -634,6 +694,8 @@ class IndexServer:
             if due:
                 self._updates_since_check = 0
         self.stats.note_update(op)
+        if self.slo is not None:
+            self.slo.record("update", time.perf_counter() - update_t0)
         if due and self.config.auto_rebuild:
             self._rebuild_wanted.set()
         return result
@@ -759,6 +821,13 @@ class IndexServer:
         self.stats.note_batch(
             len(batch), service_seconds, queue_waits, latencies, errors=errors
         )
+        if self.slo is not None:
+            for r, latency in zip(batch, latencies):
+                # Batch kinds: every sub-operation experienced this latency.
+                self.slo.record(
+                    _SLO_KINDS.get(r.kind, r.kind), latency, count=r.size
+                )
+            self._check_slo()
 
     # ------------------------------------------------------------------
     # Background rebuild + generation swap

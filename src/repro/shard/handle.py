@@ -8,6 +8,17 @@ response can never be attributed to the wrong request: replies whose
 sequence id doesn't match the in-flight request are stale leftovers of
 an earlier timed-out call and are discarded on receipt.
 
+Trace propagation: a request optionally carries a trace context —
+``{"trace_id", "parent_span_id", "request_id"}`` — in the fixed fourth
+slot of the request tuple (``None`` when tracing is off, so the worker
+skips span capture entirely).  The worker runs the command under
+``Tracer.capture()`` and ships the captured span dicts back in the
+reply's fourth slot; the handle ``adopt()``s them into this process's
+tracer under the caller's span, stamped with the caller's trace id — so
+one scatter renders as one tree across every worker process it touched.
+Spans travel on *error* replies too: a failed sub-request still shows
+its worker-side branch.
+
 Timeouts **poison** the handle.  When a request deadline passes, the
 worker still owes the reply — it may arrive on the pipe at any later
 moment — so the handle refuses further traffic (``request`` raises
@@ -31,6 +42,7 @@ import multiprocessing as mp
 import threading
 import time
 
+from repro.obs.trace import get_tracer
 from repro.shard.errors import ShardTimeout, ShardUnavailable
 from repro.shard.worker import WorkerSpec, shard_worker_main
 
@@ -156,8 +168,8 @@ class ShardHandle:
                 )
 
     def _recv_response(self, seq: int, timeout: float):
-        """Receive the ``(seq, kind, result)`` reply matching ``seq``,
-        discarding stale replies left over from earlier timed-out
+        """Receive the ``(seq, kind, result, spans)`` reply matching
+        ``seq``, discarding stale replies left over from earlier timed-out
         requests (their sequence ids can never match)."""
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -165,14 +177,23 @@ class ShardHandle:
                 None if deadline is None else deadline - time.monotonic()
             )
             message = self._recv_raw(remaining)
-            if len(message) == 3 and message[0] == seq:
-                return message[1], message[2]
+            if len(message) == 4 and message[0] == seq:
+                return message[1], message[2], message[3]
 
     # ------------------------------------------------------------------
-    def request(self, command: str, *payload, timeout: float = 60.0):
-        """Send ``(seq, timeout, command, *payload)``; return the result
-        or raise the worker's exception (or :class:`ShardUnavailable` on
-        death / a poisoned handle, :class:`ShardTimeout` on deadline)."""
+    def request(
+        self, command: str, *payload, timeout: float = 60.0, trace=None
+    ):
+        """Send ``(seq, timeout, command, trace, *payload)``; return the
+        result or raise the worker's exception (or
+        :class:`ShardUnavailable` on death / a poisoned handle,
+        :class:`ShardTimeout` on deadline).
+
+        ``trace`` is the optional cross-process trace context dict
+        (``trace_id`` / ``parent_span_id`` / ``request_id``); when set,
+        worker spans shipped on the reply are adopted into this process's
+        tracer under ``parent_span_id`` before the result (or the
+        worker's error) is surfaced."""
         with self._lock:
             if self._poisoned:
                 raise ShardUnavailable(
@@ -189,7 +210,7 @@ class ShardHandle:
             self._seq += 1
             seq = self._seq
             try:
-                self._conn.send((seq, timeout, command, *payload))
+                self._conn.send((seq, timeout, command, trace, *payload))
             except (BrokenPipeError, OSError):
                 raise ShardUnavailable(
                     f"shard {self.shard_id} worker died before the request "
@@ -197,7 +218,7 @@ class ShardHandle:
                     shard_id=self.shard_id,
                 ) from None
             try:
-                kind, result = self._recv_response(seq, timeout)
+                kind, result, spans = self._recv_response(seq, timeout)
             except ShardTimeout:
                 # The worker still owes this reply; if we kept using the
                 # pipe it would be returned to the *next* request.  Refuse
@@ -205,6 +226,12 @@ class ShardHandle:
                 # and the pipe.
                 self._poisoned = True
                 raise
+        if trace is not None and spans:
+            get_tracer().adopt(
+                spans,
+                parent_id=trace.get("parent_span_id"),
+                trace_id=trace.get("trace_id"),
+            )
         if kind == "err":
             raise result
         return result
@@ -231,7 +258,7 @@ class ShardHandle:
                 return
             self._seq += 1
             try:
-                self._conn.send((self._seq, 0.0, "crash"))
+                self._conn.send((self._seq, 0.0, "crash", None))
             except (BrokenPipeError, OSError):
                 pass
             self._proc.join(timeout=10.0)
@@ -243,7 +270,7 @@ class ShardHandle:
             if self._proc.is_alive() and not self._poisoned:
                 self._seq += 1
                 try:
-                    self._conn.send((self._seq, 30.0, "close"))
+                    self._conn.send((self._seq, 30.0, "close", None))
                     self._recv_response(self._seq, 30.0)
                 except (ShardUnavailable, ShardTimeout, BrokenPipeError, OSError):
                     # Graceful close failed — make _reap kill rather than

@@ -43,11 +43,31 @@ Failure handling (the PR 7 vocabulary, per shard)
   shards keep absorbing their updates, the read-only shard's rejections
   are itemised next to a fleet health summary.
 
-Observability: :meth:`ShardRouter.stats_snapshot` merges every worker's
+Observability
+-------------
+Every scatter runs under a ``shard.scatter`` span carrying a fresh
+``request_id``; when tracing is on, the span's trace context
+(``trace_id`` / ``parent_span_id`` / ``request_id``) rides the RPC to
+each worker, which answers with its own captured spans — adopted back
+under the scatter span by the handle, so one batch renders as one tree
+across every process it touched (retries, respawns, and failed branches
+included as ``shard.retry`` / ``shard.respawn`` / ``error=...`` spans).
+When tracing is off the scatter span is the shared no-op and the wire
+carries ``None`` — workers skip capture entirely.
+
+:meth:`ShardRouter.stats_snapshot` merges every worker's
 ``stats_snapshot()`` export and the router's own counters into one view
 via :meth:`MetricsRegistry.merge` — counters sum and histogram buckets
 add, so fleet-wide percentiles are computed over the union of all
-samples.
+samples.  With ``RouterConfig.telemetry_interval`` set (or
+:meth:`ShardRouter.start_telemetry` called) a background
+:class:`~repro.shard.telemetry.FleetTelemetry` poller replaces that
+merge-on-demand path with a continuously refreshed fleet view that
+also carries per-shard ``telemetry.scrape_age_seconds`` staleness and
+``telemetry.shard_up`` markers.  The router additionally keeps an
+:class:`~repro.obs.slo.SLOTracker` over end-to-end (router-side)
+request latencies per kind, published as ``slo.*`` gauges in every
+snapshot.
 """
 
 from __future__ import annotations
@@ -55,11 +75,14 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.trace import get_tracer, new_request_id, span as _span
 from repro.serve.errors import ServerOverloaded, ServerReadOnly
 from repro.shard.errors import ShardTimeout, ShardUnavailable
 from repro.shard.handle import ShardHandle
@@ -85,6 +108,21 @@ class RouterConfig:
         Whether a dead shard is recovered (snapshots + WAL) and retried
         transparently for idempotent queries.  Off, queries raise
         :class:`~repro.shard.errors.ShardUnavailable` like updates do.
+    slo_targets:
+        Optional per-kind latency objectives for the router-side
+        :class:`~repro.obs.slo.SLOTracker` — any form
+        :func:`repro.obs.slo._parse_targets` accepts (``{"point": 0.05}``,
+        ``{"knn": {"latency": 0.2, "quantile": 99.0}}``).  Quantile
+        gauges are published for observed kinds even without targets;
+        burn rates need targets.
+    slo_window_seconds:
+        Rolling-window length for the router's SLO quantiles and burn.
+    telemetry_interval:
+        Seconds between background fleet-telemetry scrapes.  ``None``
+        (default) leaves the poller off — ``stats_snapshot`` then merges
+        on demand; set, the router starts a
+        :class:`~repro.shard.telemetry.FleetTelemetry` thread at
+        construction.
     """
 
     request_timeout: float = 60.0
@@ -92,6 +130,9 @@ class RouterConfig:
     retry_base_delay: float = 0.01
     retry_max_delay: float = 0.5
     auto_respawn: bool = True
+    slo_targets: "dict | None" = None
+    slo_window_seconds: float = 60.0
+    telemetry_interval: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.request_timeout <= 0:
@@ -104,6 +145,14 @@ class RouterConfig:
             raise ValueError(
                 "need 0 <= retry_base_delay <= retry_max_delay, got "
                 f"{self.retry_base_delay}/{self.retry_max_delay}"
+            )
+        if self.slo_window_seconds <= 0:
+            raise ValueError(
+                f"slo_window_seconds must be positive, got {self.slo_window_seconds}"
+            )
+        if self.telemetry_interval is not None and self.telemetry_interval <= 0:
+            raise ValueError(
+                f"telemetry_interval must be positive, got {self.telemetry_interval}"
             )
 
 
@@ -125,6 +174,14 @@ class ShardRouter:
         self.handles = list(handles)
         self.config = config or RouterConfig()
         self.registry = MetricsRegistry()
+        self.slo = SLOTracker(
+            SLOConfig(
+                targets=self.config.slo_targets,
+                window_seconds=self.config.slo_window_seconds,
+            )
+        )
+        self._telemetry = None
+        self._metrics_server = None
         self._closed = False
         # One respawn lock per shard: concurrent scatter threads that hit
         # the same dead worker must not both restart it.
@@ -132,6 +189,8 @@ class ShardRouter:
         self._pool = ThreadPoolExecutor(
             max_workers=max(len(handles), 1), thread_name_prefix="shard-scatter"
         )
+        if self.config.telemetry_interval is not None:
+            self.start_telemetry()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -144,6 +203,11 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
+        if self._telemetry is not None:
+            self._telemetry.stop()
         self._pool.shutdown(wait=True)
         for handle in self.handles:
             handle.close()
@@ -157,49 +221,76 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # One sub-request, with the failure vocabulary applied
     # ------------------------------------------------------------------
-    def _call(self, shard_id: int, command: str, *payload, idempotent: bool):
+    def _call(
+        self, shard_id: int, command: str, *payload,
+        idempotent: bool, trace: "dict | None" = None,
+    ):
         cfg = self.config
         handle = self.handles[shard_id]
-        attempt = 0
-        while True:
-            try:
-                return handle.request(
-                    command, *payload, timeout=cfg.request_timeout
-                )
-            except ServerOverloaded:
-                self.registry.counter(
-                    "router.retries", shard=shard_id, reason="overloaded"
-                ).inc()
-                attempt += 1
-                if attempt > cfg.max_retries:
-                    raise
-                time.sleep(
-                    min(
-                        cfg.retry_base_delay * (2 ** (attempt - 1)),
-                        cfg.retry_max_delay,
+        # Scatter runs on pool threads, which don't inherit the caller
+        # thread's span stack — seed it from the explicit trace context so
+        # retry/respawn spans opened here land under the scatter span.
+        ambient = (
+            get_tracer().ambient(
+                trace.get("parent_span_id"), trace_id=trace.get("trace_id")
+            )
+            if trace is not None
+            else nullcontext()
+        )
+        with ambient:
+            attempt = 0
+            while True:
+                try:
+                    return handle.request(
+                        command, *payload,
+                        timeout=cfg.request_timeout, trace=trace,
                     )
-                )
-            except ShardUnavailable:
-                self.registry.counter("router.shard_deaths", shard=shard_id).inc()
-                if not (idempotent and cfg.auto_respawn):
-                    raise
-                attempt += 1
-                if attempt > cfg.max_retries:
-                    raise
-                self._ensure_alive(shard_id)
-            except ShardTimeout:
-                # The handle poisoned itself (alive() is now False): the
-                # wedged worker must be killed and respawned before the
-                # shard can answer again.
-                self.registry.counter(
-                    "router.shard_timeouts", shard=shard_id
-                ).inc()
-                if not (idempotent and cfg.auto_respawn):
-                    raise
-                attempt += 1
-                if attempt > cfg.max_retries:
-                    raise
-                self._ensure_alive(shard_id)
+                except ServerOverloaded:
+                    self.registry.counter(
+                        "router.retries", shard=shard_id, reason="overloaded"
+                    ).inc()
+                    attempt += 1
+                    if attempt > cfg.max_retries:
+                        raise
+                    with _span(
+                        "shard.retry", shard=shard_id,
+                        reason="overloaded", attempt=attempt,
+                    ):
+                        time.sleep(
+                            min(
+                                cfg.retry_base_delay * (2 ** (attempt - 1)),
+                                cfg.retry_max_delay,
+                            )
+                        )
+                except ShardUnavailable:
+                    self.registry.counter("router.shard_deaths", shard=shard_id).inc()
+                    if not (idempotent and cfg.auto_respawn):
+                        raise
+                    attempt += 1
+                    if attempt > cfg.max_retries:
+                        raise
+                    with _span(
+                        "shard.retry", shard=shard_id,
+                        reason="unavailable", attempt=attempt,
+                    ):
+                        self._ensure_alive(shard_id)
+                except ShardTimeout:
+                    # The handle poisoned itself (alive() is now False): the
+                    # wedged worker must be killed and respawned before the
+                    # shard can answer again.
+                    self.registry.counter(
+                        "router.shard_timeouts", shard=shard_id
+                    ).inc()
+                    if not (idempotent and cfg.auto_respawn):
+                        raise
+                    attempt += 1
+                    if attempt > cfg.max_retries:
+                        raise
+                    with _span(
+                        "shard.retry", shard=shard_id,
+                        reason="timeout", attempt=attempt,
+                    ):
+                        self._ensure_alive(shard_id)
 
     def _ensure_alive(self, shard_id: int) -> None:
         """Respawn a dead shard exactly once per death, however many
@@ -208,10 +299,14 @@ class ShardRouter:
         with self._respawn_locks[shard_id]:
             if handle.alive():
                 return
-            handle.respawn()
+            with _span("shard.respawn", shard=shard_id):
+                handle.respawn()
             self.registry.counter("router.respawns", shard=shard_id).inc()
 
-    def _scatter(self, calls: "dict[int, tuple]", idempotent: bool) -> dict:
+    def _scatter(
+        self, calls: "dict[int, tuple]", idempotent: bool,
+        trace: "dict | None" = None,
+    ) -> dict:
         """Run ``{shard_id: (command, *payload)}`` concurrently; returns
         ``{shard_id: result}``.  Any failure propagates after all
         in-flight sub-requests finish."""
@@ -219,9 +314,13 @@ class ShardRouter:
             return {}
         if len(calls) == 1:
             ((sid, call),) = calls.items()
-            return {sid: self._call(sid, *call, idempotent=idempotent)}
+            return {
+                sid: self._call(sid, *call, idempotent=idempotent, trace=trace)
+            }
         futures = {
-            sid: self._pool.submit(self._call, sid, *call, idempotent=idempotent)
+            sid: self._pool.submit(
+                self._call, sid, *call, idempotent=idempotent, trace=trace
+            )
             for sid, call in calls.items()
         }
         results, first_error = {}, None
@@ -233,6 +332,23 @@ class ShardRouter:
         if first_error is not None:
             raise first_error
         return results
+
+    @staticmethod
+    def _trace_ctx(scatter_span) -> "dict | None":
+        """The cross-process trace context for one scatter: ``None`` when
+        tracing is off (the span is the shared no-op — workers then skip
+        capture), else the scatter span's trace/span ids plus a fresh
+        ``request_id`` stamped on the span itself so ``repro obs trace
+        --request`` finds the tree."""
+        if scatter_span.span_id is None:
+            return None
+        request_id = new_request_id()
+        scatter_span.set(request_id=request_id)
+        return {
+            "trace_id": scatter_span.trace_id,
+            "parent_span_id": scatter_span.span_id,
+            "request_id": request_id,
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -248,10 +364,17 @@ class ShardRouter:
             for sid in np.unique(owners)
         }
         self.registry.counter("router.queries", kind="point").inc(len(pts))
-        replies = self._scatter(calls, idempotent=True)
+        t0 = time.perf_counter()
+        with _span(
+            "shard.scatter", kind="point", n=len(pts), shards=len(calls)
+        ) as sp:
+            replies = self._scatter(
+                calls, idempotent=True, trace=self._trace_ctx(sp)
+            )
         out = np.zeros(len(pts), dtype=bool)
         for sid, hits in replies.items():
             out[owners == sid] = np.asarray(hits, dtype=bool)
+        self.slo.record("point", time.perf_counter() - t0, count=len(pts))
         return out
 
     def window_queries(self, windows: "list") -> "list[np.ndarray]":
@@ -267,7 +390,14 @@ class ShardRouter:
             for sid, members in per_shard.items()
         }
         self.registry.counter("router.queries", kind="window").inc(len(windows))
-        replies = self._scatter(calls, idempotent=True)
+        t0 = time.perf_counter()
+        with _span(
+            "shard.scatter", kind="window", n=len(windows), shards=len(calls)
+        ) as sp:
+            replies = self._scatter(
+                calls, idempotent=True, trace=self._trace_ctx(sp)
+            )
+        self.slo.record("window", time.perf_counter() - t0, count=len(windows))
         d = self.shard_map.bounds.ndim
         parts: list[list[np.ndarray]] = [[] for _ in windows]
         for sid in sorted(replies):  # shard order => deterministic output
@@ -292,39 +422,51 @@ class ShardRouter:
             int(sid): ("knn_batch", pts[owners == sid], k)
             for sid in np.unique(owners)
         }
-        replies = self._scatter(calls, idempotent=True)
-        candidates: list[list[np.ndarray]] = [[] for _ in pts]
-        for sid, results in replies.items():
-            for i, result in zip(np.flatnonzero(owners == sid), results):
-                candidates[i].append(np.asarray(result, dtype=np.float64))
-        if self.n_shards > 1:
-            # Round two: shards whose range intersects the ball of the
-            # kth candidate distance (everything, when round one came up
-            # short of k — the radius is unbounded then).
-            per_shard: dict[int, list[int]] = {}
-            for i, q in enumerate(pts):
-                radius = _kth_distance(q, candidates[i], k)
-                for sid in self.shard_map.shards_for_ball(q, radius):
-                    if sid != owners[i]:
-                        per_shard.setdefault(int(sid), []).append(i)
-            if per_shard:
-                self.registry.counter("router.knn_round2").inc(
-                    sum(len(v) for v in per_shard.values())
-                )
-                calls = {
-                    sid: ("knn_batch", pts[members], k)
-                    for sid, members in per_shard.items()
-                }
-                replies = self._scatter(calls, idempotent=True)
-                for sid, results in replies.items():
-                    for i, result in zip(per_shard[sid], results):
-                        candidates[i].append(
-                            np.asarray(result, dtype=np.float64)
-                        )
-        return [
+        t0 = time.perf_counter()
+        # One scatter span covers both kNN rounds: the widening round's
+        # per-shard dispatches adopt under the same root, so the tree
+        # shows the full two-round fan-out of each request.
+        with _span(
+            "shard.scatter", kind="knn", n=len(pts), k=k, shards=len(calls)
+        ) as sp:
+            trace = self._trace_ctx(sp)
+            replies = self._scatter(calls, idempotent=True, trace=trace)
+            candidates: list[list[np.ndarray]] = [[] for _ in pts]
+            for sid, results in replies.items():
+                for i, result in zip(np.flatnonzero(owners == sid), results):
+                    candidates[i].append(np.asarray(result, dtype=np.float64))
+            if self.n_shards > 1:
+                # Round two: shards whose range intersects the ball of the
+                # kth candidate distance (everything, when round one came up
+                # short of k — the radius is unbounded then).
+                per_shard: dict[int, list[int]] = {}
+                for i, q in enumerate(pts):
+                    radius = _kth_distance(q, candidates[i], k)
+                    for sid in self.shard_map.shards_for_ball(q, radius):
+                        if sid != owners[i]:
+                            per_shard.setdefault(int(sid), []).append(i)
+                if per_shard:
+                    round2 = sum(len(v) for v in per_shard.values())
+                    self.registry.counter("router.knn_round2").inc(round2)
+                    sp.set(round2=round2)
+                    calls = {
+                        sid: ("knn_batch", pts[members], k)
+                        for sid, members in per_shard.items()
+                    }
+                    replies = self._scatter(
+                        calls, idempotent=True, trace=trace
+                    )
+                    for sid, results in replies.items():
+                        for i, result in zip(per_shard[sid], results):
+                            candidates[i].append(
+                                np.asarray(result, dtype=np.float64)
+                            )
+        out = [
             _top_k(q, cands, k, self.shard_map.bounds.ndim)
             for q, cands in zip(pts, candidates)
         ]
+        self.slo.record("knn", time.perf_counter() - t0, count=len(pts))
+        return out
 
     # ------------------------------------------------------------------
     # Updates
@@ -340,20 +482,25 @@ class ShardRouter:
     def _update(self, op: str, point: np.ndarray):
         pt = np.asarray(point, dtype=np.float64)
         sid = int(self.shard_map.shard_of_points(pt[None, :])[0])
-        # A dead worker noticed *before* anything is sent is safe to
-        # recover through — nothing is in flight, so routing the update to
-        # the respawned shard cannot double-apply.  Only death mid-request
-        # (outcome unknown) surfaces to the caller.
-        if self.config.auto_respawn and not self.handles[sid].alive():
-            self._ensure_alive(sid)
-        try:
-            result = self._call(sid, op, pt, idempotent=False)
-        except ServerReadOnly:
-            self.registry.counter(
-                "router.read_only_rejections", shard=sid
-            ).inc()
-            raise
+        t0 = time.perf_counter()
+        with _span("shard.update", op=op, shard=sid) as sp:
+            # A dead worker noticed *before* anything is sent is safe to
+            # recover through — nothing is in flight, so routing the update
+            # to the respawned shard cannot double-apply.  Only death
+            # mid-request (outcome unknown) surfaces to the caller.
+            if self.config.auto_respawn and not self.handles[sid].alive():
+                self._ensure_alive(sid)
+            try:
+                result = self._call(
+                    sid, op, pt, idempotent=False, trace=self._trace_ctx(sp)
+                )
+            except ServerReadOnly:
+                self.registry.counter(
+                    "router.read_only_rejections", shard=sid
+                ).inc()
+                raise
         self.registry.counter("router.updates", op=op).inc()
+        self.slo.record("update", time.perf_counter() - t0)
         return result
 
     def apply_updates(self, ops: "list[tuple[str, np.ndarray]]") -> dict:
@@ -421,9 +568,16 @@ class ShardRouter:
     def stats_snapshot(self) -> dict:
         """One fleet-wide metrics export: every live shard's
         ``stats_snapshot()`` merged (counters summed, histogram buckets
-        added, gauges by freshest stamp) with the router's own counters.
-        Dead or wedged shards are skipped and counted on
+        added, gauges by freshest stamp) with the router's own counters
+        and ``slo.*`` gauges.  With the telemetry poller running this is
+        the poller's continuously refreshed view (plus per-shard
+        staleness/up markers); without it, shards are scraped on demand —
+        dead or wedged ones skipped and counted on
         ``router.stats_unreachable``."""
+        self.slo.publish(self.registry)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.running:
+            return telemetry.merged()
         merged = MetricsRegistry()
         for handle in self.handles:
             try:
@@ -438,6 +592,59 @@ class ShardRouter:
         # already reflects any shard found unreachable above.
         merged.merge(self.registry.export())
         return merged.export()
+
+    # ------------------------------------------------------------------
+    # Live surfaces: telemetry poller, overview, /metrics endpoint
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The :class:`~repro.shard.telemetry.FleetTelemetry` poller, or
+        ``None`` when running merge-on-demand."""
+        return self._telemetry
+
+    def start_telemetry(self, interval: "float | None" = None):
+        """Start (or return) the background fleet-telemetry poller."""
+        from repro.shard.telemetry import FleetTelemetry
+
+        if self._telemetry is None:
+            self._telemetry = FleetTelemetry(
+                self,
+                interval=interval or self.config.telemetry_interval or 1.0,
+            )
+        self._telemetry.start()
+        return self._telemetry
+
+    def overview(self) -> dict:
+        """Per-shard dashboard rows (health, generation, queue depth,
+        qps-able counters, p99, staleness) — the ``repro obs top`` feed.
+        Uses the running poller's cache; without one, scrapes once."""
+        from repro.shard.telemetry import FleetTelemetry
+
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.running:
+            telemetry = FleetTelemetry(
+                self, interval=self.config.telemetry_interval or 1.0
+            )
+            telemetry.scrape_now()
+        return telemetry.overview()
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start (or return) the stdlib HTTP observability endpoint
+        (``/metrics``, ``/metrics.json``, ``/health``, ``/overview``)
+        backed by this router's fleet view."""
+        from repro.obs.httpd import MetricsServer
+
+        if self._metrics_server is None:
+            server = MetricsServer(
+                metrics=self.stats_snapshot,
+                health=self.health_summary,
+                overview=self.overview,
+                host=host,
+                port=port,
+            )
+            server.start()
+            self._metrics_server = server
+        return self._metrics_server
 
 
 # ----------------------------------------------------------------------

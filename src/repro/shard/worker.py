@@ -12,9 +12,16 @@ building anything, so ``repro chaos``-style scenarios can target fault
 sites inside an individual shard regardless of how the process started.
 
 The control protocol over the duplex pipe is one request, one response:
-the parent sends ``(seq, timeout, command, *payload)`` tuples and the
-worker answers ``(seq, "ok", result)`` or ``(seq, "err", exception)`` —
-the echoed sequence id lets the parent discard stale replies left over
+the parent sends ``(seq, timeout, command, trace, *payload)`` tuples and
+the worker answers ``(seq, "ok", result, spans)`` or ``(seq, "err",
+exception, spans)``.  ``trace`` is the cross-process trace context the
+router attaches to every scatter (``None`` when tracing is off — the
+worker then skips span capture entirely, keeping the disabled fast
+path); with a context present the command runs under
+``Tracer.capture()`` inside an ambient ``serve.dispatch`` span, and the
+captured span dicts ship back in the reply's ``spans`` slot — on error
+replies too, so failed branches stay visible in the merged tree.  The
+echoed sequence id lets the parent discard stale replies left over
 from timed-out requests, and the server's typed errors
 (``ServerOverloaded``, ``ServerReadOnly``, ...) pickle cleanly and cross
 the pipe as themselves, so the router handles the exact single-server
@@ -34,6 +41,7 @@ flushes — which is the chaos hook the kill-mid-stream recovery test uses.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -203,20 +211,66 @@ def shard_worker_main(spec: WorkerSpec, conn) -> None:
                 message = conn.recv()
             except EOFError:
                 break
-            seq, timeout, command = message[0], message[1], message[2]
-            payload = message[3:]
+            seq, timeout, command, trace = (
+                message[0], message[1], message[2], message[3],
+            )
+            payload = message[4:]
             if command == "crash":
                 os._exit(WORKER_CRASH_EXIT)
             if command == "close":
-                conn.send((seq, "ok", None))
+                conn.send((seq, "ok", None, None))
                 break
+            captured: list = []
             try:
-                conn.send((seq, "ok", _dispatch(server, command, payload, timeout)))
+                if trace is None:
+                    result = _dispatch(server, spec, command, payload, timeout)
+                else:
+                    result = _traced_dispatch(
+                        server, spec, command, payload, timeout, trace, captured
+                    )
+                conn.send((seq, "ok", result, _ship_spans(trace, captured)))
             except BaseException as exc:  # noqa: BLE001 - errors cross the pipe
-                conn.send((seq, "err", exc))
+                conn.send((seq, "err", exc, _ship_spans(trace, captured)))
     finally:
         server.close()
         conn.close()
+
+
+def _ship_spans(trace, captured: list) -> "list[dict] | None":
+    """Captured spans as picklable dicts (None when no trace context)."""
+    if trace is None:
+        return None
+    return [record.to_dict() for record in captured]
+
+
+def _traced_dispatch(
+    server, spec: WorkerSpec, command: str, payload: tuple, timeout: float,
+    trace: dict, captured: list,
+) -> object:
+    """Run one command under span capture, ambient-seeded with the
+    caller's trace context, inside a ``serve.dispatch`` span.
+
+    ``captured`` is filled in place so spans survive an exception
+    (the dispatch span itself exits tagged ``error=...`` and still
+    ships on the error reply).
+    """
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    with tracer.capture() as records:
+        try:
+            with tracer.ambient(
+                trace.get("parent_span_id"), trace_id=trace.get("trace_id")
+            ):
+                with tracer.span(
+                    "serve.dispatch",
+                    command=command,
+                    shard=spec.shard_id,
+                    request_id=trace.get("request_id"),
+                ):
+                    return _dispatch(server, spec, command, payload, timeout)
+        finally:
+            captured.extend(records)
 
 
 def _reply_wait(timeout: float) -> float:
@@ -227,7 +281,7 @@ def _reply_wait(timeout: float) -> float:
     return max(0.05, timeout - max(0.5, 0.1 * timeout))
 
 
-def _dispatch(server, command: str, payload: tuple, timeout: float):
+def _dispatch(server, spec: WorkerSpec, command: str, payload: tuple, timeout: float):
     wait = _reply_wait(timeout)
     if command == "point_batch":
         (points,) = payload
@@ -249,7 +303,21 @@ def _dispatch(server, command: str, payload: tuple, timeout: float):
         server.rebuild_now()
         return _status(server)
     if command == "stats":
-        return server.stats_snapshot()
+        snapshot = server.stats_snapshot()
+        # Shipped in export format so MetricsRegistry.merge keeps it as a
+        # per-shard series: cumulative process CPU (user + system), whose
+        # scrape-to-scrape deltas separate real parallel speedup from
+        # batching in bench_shard_scaling.
+        cpu = os.times()
+        snapshot["worker.cpu_seconds"] = [
+            {
+                "labels": {"shard": str(spec.shard_id)},
+                "kind": "gauge",
+                "value": float(cpu.user + cpu.system),
+                "updated_at": time.time(),
+            }
+        ]
+        return snapshot
     if command == "status":
         return _status(server)
     raise ValueError(f"unknown shard worker command {command!r}")

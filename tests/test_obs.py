@@ -428,3 +428,192 @@ def test_resolve_executor_names_env_var_on_bad_spec(monkeypatch):
     monkeypatch.setenv(ENV_VAR, "warp:9")
     with pytest.raises(ValueError, match=ENV_VAR):
         resolve_executor(None)
+
+
+# ----------------------------------------------------------------------
+# Distributed tracing: trace ids, adoption, the atomic JSONL sink
+# ----------------------------------------------------------------------
+def test_trace_id_root_is_own_id_and_descendants_inherit(tracer):
+    with span("outer") as outer:
+        with span("inner"):
+            pass
+    top = tracer.find("outer")[0]
+    mid = tracer.find("inner")[0]
+    assert top.trace_id == top.span_id
+    assert mid.trace_id == top.trace_id
+    with span("second"):
+        pass
+    other = tracer.find("second")[0]
+    assert other.trace_id != top.trace_id  # each root starts a new trace
+
+
+def test_ambient_seeds_parent_and_trace_id(tracer):
+    with tracer.ambient("remote-parent", trace_id="remote-trace"):
+        with span("seeded"):
+            pass
+    rec = tracer.find("seeded")[0]
+    assert rec.parent_id == "remote-parent"
+    assert rec.trace_id == "remote-trace"
+
+
+def test_ambient_without_trace_id_uses_parent(tracer):
+    with tracer.ambient("remote-parent"):
+        with span("seeded"):
+            pass
+    assert tracer.find("seeded")[0].trace_id == "remote-parent"
+
+
+def test_adopt_stamps_trace_id_over_whole_batch(tracer):
+    with tracer.capture() as captured:
+        with tracer.span("w.root"):
+            with tracer.span("w.child"):
+                pass
+    tracer.adopt(
+        [r.to_dict() for r in captured],
+        parent_id="caller-span",
+        trace_id="caller-trace",
+    )
+    root = tracer.find("w.root")[0]
+    child = tracer.find("w.child")[0]
+    assert root.parent_id == "caller-span"
+    assert root.trace_id == "caller-trace"
+    assert child.trace_id == "caller-trace"  # non-roots stamped too
+
+
+def test_disabled_span_has_no_trace_identity():
+    t = get_tracer()
+    assert not t.enabled
+    with span("anything") as s:
+        # The shared no-op carries no ids — the router keys its "skip the
+        # cross-process trace context entirely" fast path on exactly this.
+        assert s.span_id is None
+        assert s.trace_id is None
+
+
+def test_new_request_ids_are_unique():
+    from repro.obs.trace import new_request_id
+
+    ids = {new_request_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_error_spans_tag_exception_type(tracer):
+    with pytest.raises(RuntimeError):
+        with span("doomed"):
+            raise RuntimeError("boom")
+    rec = tracer.find("doomed")[0]
+    assert rec.attrs["error"] == "RuntimeError"
+
+
+def test_jsonl_sink_concurrent_writers_stay_line_atomic(tmp_path, tracer):
+    # Many threads streaming spans into one REPRO_TRACE file must never
+    # interleave or truncate each other's lines: the sink writes each
+    # record as a single os.write to an O_APPEND fd.
+    import threading as _threading
+
+    path = tmp_path / "concurrent.jsonl"
+    old_ring = tracer.ring_size
+    tracer.enable(path=str(path), ring_size=16)  # small ring: sink is the record
+    n_threads, n_spans = 8, 150
+    padding = "x" * 200  # fat lines make torn writes easy to catch
+
+    def worker(tid):
+        for i in range(n_spans):
+            with span("atomic.check", tid=tid, i=i, pad=padding):
+                pass
+
+    threads = [
+        _threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    tracer.disable()
+    tracer.ring_size = old_ring  # don't leak the shrunken ring to other tests
+    lines = path.read_text().splitlines()
+    assert len(lines) == n_threads * n_spans
+    seen = set()
+    for line in lines:
+        rec = json.loads(line)  # raises on any torn/interleaved line
+        assert rec["name"] == "atomic.check"
+        assert rec["attrs"]["pad"] == padding
+        seen.add((rec["attrs"]["tid"], rec["attrs"]["i"]))
+    assert len(seen) == n_threads * n_spans  # no line lost or duplicated
+
+
+def test_build_tree_marks_adopted_orphans():
+    # An adopted span whose parent fell out of the ring is promoted to a
+    # root *and* tagged, so the report distinguishes it from real roots.
+    records = [
+        _rec("adopted", "a", parent_id="evicted"),
+        _rec("root", "r", start=1.0),
+    ]
+    roots, _children = build_tree(records)
+    by_name = {r.name: r for r in roots}
+    assert by_name["adopted"].attrs.get("orphan") is True
+    assert "orphan" not in by_name["root"].attrs
+    assert "orphan=True" in render_report(records)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry.merge edge cases (the fleet-fold contract)
+# ----------------------------------------------------------------------
+def test_registry_merge_disjoint_series_is_union():
+    a, b, fleet = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    a.counter("only.a").inc(1)
+    b.gauge("only.b").set(2.0)
+    fleet.merge(a.export())
+    fleet.merge(b.export())
+    exported = fleet.export()
+    assert set(exported) == {"only.a", "only.b"}
+    assert fleet.counter("only.a").value == 1
+    assert fleet.gauge("only.b").value == 2.0
+
+
+def test_registry_merge_gauge_stamp_tie_incoming_wins():
+    fleet = MetricsRegistry()
+    fleet.merge({"g": [{"labels": {}, "kind": "gauge", "value": 1.0,
+                        "updated_at": 100.0}]})
+    fleet.merge({"g": [{"labels": {}, "kind": "gauge", "value": 2.0,
+                        "updated_at": 100.0}]})
+    assert fleet.gauge("g").value == 2.0  # >= : equal stamps take incoming
+
+
+def test_registry_merge_empty_export_is_identity():
+    fleet = MetricsRegistry()
+    fleet.counter("kept").inc(3)
+    before = fleet.export()
+    fleet.merge({})
+    fleet.merge(MetricsRegistry().export())
+    assert fleet.export() == before
+
+
+def test_registry_merge_histogram_boundary_mismatch_rejected():
+    fleet = MetricsRegistry()
+    fleet.histogram("lat", base=1.0, n_buckets=4).record(2.0)
+    incoming = MetricsRegistry()
+    incoming.histogram("lat", base=2.0, n_buckets=4).record(2.0)
+    with pytest.raises(ValueError, match="base"):
+        fleet.merge(incoming.export())
+    wider = MetricsRegistry()
+    wider.histogram("lat", base=1.0, n_buckets=8).record(2.0)
+    with pytest.raises(ValueError, match="n_buckets"):
+        fleet.merge(wider.export())
+
+
+def test_registry_from_export_reproduces_text_lines():
+    from repro.obs.metrics import registry_from_export
+
+    source = MetricsRegistry()
+    source.counter("serve.requests", kind="point").inc(5)
+    source.gauge("depth").set(2.0)
+    clone = registry_from_export(source.export())
+    assert clone.export_text() == source.export_text()
+
+
+def test_histogram_record_count_batches():
+    h = Histogram(base=1.0, n_buckets=4)
+    h.record(2.0, count=10)
+    assert h.count == 10
+    assert h.total == pytest.approx(20.0)

@@ -205,7 +205,7 @@ class _StubHandle:
         self.fail = []
         return {}
 
-    def request(self, command, *payload, timeout=None):
+    def request(self, command, *payload, timeout=None, trace=None):
         self.requests.append(command)
         if not self._alive:
             raise ShardUnavailable("no live worker", shard_id=self.shard_id)
@@ -374,16 +374,16 @@ def _bare_handle(conn):
 
 
 class TestHandleProtocol:
-    def test_request_carries_seq_and_timeout(self):
-        conn = _FakeConn([(1, "ok", {"health": "healthy"})])
+    def test_request_carries_seq_timeout_and_trace_slot(self):
+        conn = _FakeConn([(1, "ok", {"health": "healthy"}, None)])
         handle = _bare_handle(conn)
         assert handle.request("status", timeout=7.5) == {"health": "healthy"}
-        assert conn.sent == [(1, 7.5, "status")]
+        assert conn.sent == [(1, 7.5, "status", None)]
 
     def test_stale_reply_discarded_by_seq(self):
         # A leftover reply from an earlier (timed-out) request must never
         # be returned as the answer to the current one.
-        conn = _FakeConn([(1, "ok", "stale"), (2, "ok", "fresh")])
+        conn = _FakeConn([(1, "ok", "stale", None), (2, "ok", "fresh", None)])
         handle = _bare_handle(conn)
         handle._seq = 1  # request #1 already timed out in the past
         assert handle.request("status", timeout=5.0) == "fresh"
@@ -397,7 +397,7 @@ class TestHandleProtocol:
             handle.request("status", timeout=0.15)
 
     def test_worker_error_reply_raises(self):
-        conn = _FakeConn([(1, "err", ServerOverloaded("full"))])
+        conn = _FakeConn([(1, "err", ServerOverloaded("full"), None)])
         handle = _bare_handle(conn)
         with pytest.raises(ServerOverloaded):
             handle.request("status", timeout=5.0)
