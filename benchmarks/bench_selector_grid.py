@@ -194,11 +194,14 @@ def main() -> None:
         speedup = "-" if r["speedup"] is None else f"{r['speedup']:.2f}x"
         print(f"{r['op']:16s} {r['backend']:10s} {seconds:>10s} {speedup:>8s}")
 
+    from repro.perf.fused_infer import resolve_dtype
+
     payload = {
         "benchmark": "bench_selector_grid",
         "scale": scale.name,
         "n": scale.n,
         "cpu_count": os.cpu_count(),
+        "dtype": resolve_dtype(),
         "results": results,
     }
     with open(args.output, "w") as fh:

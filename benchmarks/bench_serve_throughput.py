@@ -146,6 +146,8 @@ def main() -> None:
                 f"speedup={record['speedup_vs_baseline']:.1f}x"
             )
 
+    from repro.perf.fused_infer import resolve_dtype
+
     payload = {
         "benchmark": "bench_serve_throughput",
         "scale": scale.name,
@@ -155,6 +157,7 @@ def main() -> None:
         "clients": CLIENTS,
         "pipeline": PIPELINE,
         "cpu_count": os.cpu_count(),
+        "dtype": resolve_dtype(),
         "baseline": {
             "throughput": baseline.throughput,
             "seconds": baseline.elapsed_seconds,

@@ -49,6 +49,7 @@ from repro.bench.harness import ExperimentScale
 from repro.core.build_processor import ELSIModelBuilder
 from repro.core.config import ELSIConfig
 from repro.indices import ZMIndex
+from repro.perf.fused_infer import resolve_dtype
 from repro.queries.workload import window_workload
 from repro.serve import IndexServer, ServeConfig, ServeWorkload, run_closed_loop
 from repro.shard import build_cluster
@@ -234,6 +235,7 @@ def main() -> None:
         "pipeline": PIPELINE,
         "repeats": REPEATS,
         "cpu_count": os.cpu_count(),
+        "dtype": resolve_dtype(),
         "baselines": baselines,
         "results": results,
         "speedup_point_4x_vs_closed_loop": speedup,

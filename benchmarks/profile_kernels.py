@@ -1,0 +1,108 @@
+"""Profile the batch-query kernels: where does the 1e6-point wall-clock go?
+
+This is the flame-graph-driven methodology behind the kernel passes (see
+docs/performance.md, "How to pick the next kernel"): build a 1e6-point ZM
+index, drive the batch point- and window-query paths, and capture both
+
+- a :class:`~repro.obs.flame.SamplingProfiler` folded profile
+  (``<prefix>.sampling.folded``) — function-level hotspots, the view that
+  showed scan refinement and ``searchsorted`` dominating after inference
+  fusion, and
+- when ``REPRO_TRACE`` is set, the span trace for ``repro obs flame``
+  (``python -m repro obs flame <trace> --output flame.svg --folded ...``).
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/profile_kernels.py --output-prefix flame_kernels
+
+``REPRO_SCALE=smoke`` shrinks the data set for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import ExperimentScale
+from repro.core.build_processor import ELSIModelBuilder
+from repro.core.config import ELSIConfig
+from repro.indices import ZMIndex
+from repro.obs.flame import SamplingProfiler, render_folded, top_paths
+from repro.spatial.rect import Rect
+
+#: Workload sizes: a serving-sized point batch and a window batch, repeated
+#: until the profile has enough samples to be stable.
+POINT_BATCH = 4096
+WINDOW_BATCH = 256
+PROFILE_SECONDS = 8.0
+
+
+def _windows(points: np.ndarray, count: int, rng: np.random.Generator) -> list[Rect]:
+    centers = points[rng.integers(0, len(points), size=count)]
+    sides = rng.uniform(0.001, 0.01, size=count)
+    return [Rect.centered(c, float(s)) for c, s in zip(centers, sides)]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output-prefix", default="flame_kernels")
+    parser.add_argument("--n", type=int, default=1_000_000)
+    parser.add_argument("--dtype", default="float64", choices=("float64", "float32"))
+    args = parser.parse_args()
+
+    scale = ExperimentScale.from_env(default="default")
+    n = scale.n if scale.name == "smoke" else args.n
+    from repro.data import load_dataset
+
+    points = load_dataset("OSM1", n)
+    rng = np.random.default_rng(19)
+
+    config = ELSIConfig(train_epochs=150, dtype=args.dtype)
+    started = time.perf_counter()
+    index = ZMIndex(
+        builder=ELSIModelBuilder(config, method="SP"), branching=128
+    ).build(points)
+    print(f"built ZM n={n} dtype={args.dtype} in {time.perf_counter() - started:.1f}s")
+
+    batch = points[rng.integers(0, len(points), size=POINT_BATCH)]
+    windows = _windows(points, WINDOW_BATCH, rng)
+    # Warm up both paths so the profile sees steady-state kernels only.
+    index.point_queries(batch[:64])
+    index.window_queries(windows[:8])
+
+    point_seconds = 0.0
+    window_seconds = 0.0
+    rounds = 0
+    with SamplingProfiler(interval=0.002) as prof:
+        deadline = time.perf_counter() + PROFILE_SECONDS
+        while time.perf_counter() < deadline:
+            t0 = time.perf_counter()
+            index.point_queries(batch)
+            t1 = time.perf_counter()
+            index.window_queries(windows)
+            t2 = time.perf_counter()
+            point_seconds += t1 - t0
+            window_seconds += t2 - t1
+            rounds += 1
+
+    folded = render_folded(prof.stacks())
+    out = f"{args.output_prefix}.sampling.folded"
+    with open(out, "w") as fh:
+        fh.write(folded + "\n")
+    print(
+        f"{rounds} rounds: point_queries[{POINT_BATCH}] "
+        f"{point_seconds / rounds * 1e3:.1f} ms/round, "
+        f"window_queries[{WINDOW_BATCH}] {window_seconds / rounds * 1e3:.1f} ms/round"
+    )
+    print(f"wrote {out}")
+    print(f"cpus={os.cpu_count()} dtype={args.dtype}")
+    for path, seconds in top_paths(prof.stacks(), limit=12):
+        leaf = path.split(";")[-1]
+        print(f"  {seconds:7.3f}s  {leaf}  [{path[:110]}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,13 +59,21 @@ class ELSIConfig:
     parallel_workers:
         Pool size for the thread/process backends (default: CPU count).
     dtype:
-        Inference precision for index models: ``float64`` (the reference)
-        or ``float32`` (opt-in).  Training always runs in float64; with
-        ``float32`` the trained networks are cast down, error bounds are
-        re-measured under the reduced precision, and the fused inference
-        stacks (:mod:`repro.perf.fused_infer`) hold single-precision
-        parameters — half the model memory.  The ``REPRO_DTYPE``
-        environment variable overrides this at builder construction.
+        End-to-end precision for index models *and* mapped keys:
+        ``float64`` (the reference) or ``float32`` (opt-in).  Training
+        always runs in float64; with ``float32`` the trained networks are
+        cast down — including RSMI's per-node models, cast *before* the
+        fanout routing so build- and query-time routing stay identical —
+        error bounds are re-measured under the reduced precision, and the
+        fused inference stacks (:mod:`repro.perf.fused_infer`) hold
+        single-precision parameters.  Mapped key columns (Z-curve/CDF,
+        iDistance, Flood's per-column sort keys, LISA's cell keys) are
+        stored at the same dtype: the round-to-nearest cast is monotone
+        and applied identically at build and probe time, so equal
+        coordinates map to bit-equal keys and the re-measured bounds keep
+        predict-and-scan exact — half the model *and* key memory.  The
+        ``REPRO_DTYPE`` environment variable overrides this at builder
+        construction; snapshots pin the key dtype they were built with.
     faults:
         Fault-injection spec armed when a server is constructed with this
         config: comma-separated ``site=kind[:times[:after]]`` entries

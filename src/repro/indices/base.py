@@ -29,6 +29,7 @@ from repro.ml.ffn import FFN
 from repro.ml.trainer import TrainConfig, train_regressor
 from repro.obs.trace import span as _span
 from repro.perf.executor import MapExecutor, resolve_executor
+from repro.perf.fused_infer import FUSION_DTYPES, resolve_dtype
 from repro.spatial.rect import Rect
 
 __all__ = [
@@ -512,11 +513,16 @@ class OriginalBuilder(ModelBuilder):
         hidden: int = 16,
         seed: int = 0,
         executor: "MapExecutor | str | None" = None,
+        dtype: str = "float64",
     ) -> None:
         self.train_config = train_config
         self.hidden = hidden
         self.seed = seed
         self.executor = executor
+        #: Inference/key precision for models built here; ``REPRO_DTYPE``
+        #: overrides, matching ``ELSIModelBuilder`` so OG builds honour the
+        #: same environment knob.
+        self.dtype = resolve_dtype(dtype)
 
     def prepare_fit_job(
         self,
@@ -571,6 +577,15 @@ class LearnedSpatialIndex(ABC):
         self.query_stats = QueryStats()
         self.bounds: Rect | None = None
         self.n_points = 0
+        #: Storage dtype for mapped keys — follows the builder's model
+        #: precision (one knob: ``ELSIConfig.dtype`` / ``REPRO_DTYPE``), so
+        #: float32 models index float32 key columns with bounds measured
+        #: over the quantised keys.  Query-side keys must pass through the
+        #: same cast (``map()`` does) before model prediction or store
+        #: search.
+        self.key_dtype = np.dtype(
+            FUSION_DTYPES[getattr(self.builder, "dtype", "float64")]
+        )
 
     # ------------------------------------------------------------------
     @abstractmethod

@@ -31,7 +31,11 @@ from repro.indices.zm import locate_rank
 from repro.ml.ffn import FFN
 from repro.obs.query_obs import record_range_widths
 from repro.obs.trace import span as _span
-from repro.perf.batching import batch_point_membership
+from repro.perf.batching import (
+    batch_point_membership,
+    batch_window_refine,
+    cast_boundaries,
+)
 from repro.perf.fused_infer import FusedInferenceEngine
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
@@ -133,7 +137,7 @@ class FloodIndex(LearnedSpatialIndex):
         y_lo, y_hi = self.bounds.lo[1], self.bounds.hi[1]
         span = max(y_hi - y_lo, 1e-12)
         offset = np.clip((pts[:, 1] - y_lo) / span, 0.0, 1.0 - 1e-12)
-        return cols + offset
+        return (cols + offset).astype(self.key_dtype, copy=False)
 
     def _column_of(self, xs: np.ndarray) -> np.ndarray:
         assert self._column_edges is not None
@@ -163,7 +167,10 @@ class FloodIndex(LearnedSpatialIndex):
             started = time.perf_counter()
             order = np.argsort(members[:, 1], kind="stable")
             sorted_pts = members[order]
-            keys = sorted_pts[:, 1].copy()
+            # Column keys are stored in the configured key dtype; query-side
+            # y values pass through the same monotone cast, and the y-CDF
+            # models measure their bounds over these cast keys.
+            keys = sorted_pts[:, 1].astype(self.key_dtype)
             self._stores.append(
                 BlockStore(sorted_pts, keys, block_size=self.block_size)
             )
@@ -231,7 +238,8 @@ class FloodIndex(LearnedSpatialIndex):
         self.query_stats.queries += 1
         if store is None or model is None:
             return False
-        lo, hi = model.search_range(float(q[1]))
+        # Predict on the cast y — the key the build measured bounds over.
+        lo, hi = model.search_range(float(self.key_dtype.type(q[1])))
         pts, _keys, _ids = store.scan(lo, hi)
         self.query_stats.model_invocations += 1
         self.query_stats.points_scanned += len(pts)
@@ -248,6 +256,9 @@ class FloodIndex(LearnedSpatialIndex):
         self.query_stats.queries += len(pts)
         with _span("query.point_batch", index=self.name, queries=len(pts)):
             columns = self._column_of(pts[:, 0])
+            # Cast once for the whole batch: predictions and store searches
+            # must both see the key-dtype y values.
+            cast_y = pts[:, 1].astype(self.key_dtype, copy=False)
             all_lo = all_hi = None
             if self._engine is not None and self._col_to_midx is not None:
                 # One grouped forward pass for every visited column at once;
@@ -262,7 +273,7 @@ class FloodIndex(LearnedSpatialIndex):
                         "query.model_predict", index=self.name, queries=int(valid.sum())
                     ):
                         all_lo[valid], all_hi[valid] = self._engine.search_ranges(
-                            midx[valid], pts[valid, 1]
+                            midx[valid], cast_y[valid]
                         )
             for c in np.unique(columns):
                 store = self._stores[c]
@@ -271,7 +282,7 @@ class FloodIndex(LearnedSpatialIndex):
                 if store is None or model is None:
                     continue
                 member_pts = pts[mask]
-                keys = member_pts[:, 1]
+                keys = cast_y[mask]
                 if all_lo is not None and all_hi is not None:
                     lo, hi = all_lo[mask], all_hi[mask]
                     model.invocations += int(mask.sum())
@@ -292,14 +303,19 @@ class FloodIndex(LearnedSpatialIndex):
         self.query_stats.queries += 1
         first = int(self._column_of(np.array([window.lo[0]]))[0])
         last = int(self._column_of(np.array([window.hi[0]]))[0])
+        # Boundary y values go through the monotone key-dtype cast: the cast
+        # interval brackets a superset of the true candidates over quantised
+        # key columns, and the rectangle filter removes the extras.
+        y_lo = self.key_dtype.type(window.lo[1])
+        y_hi = self.key_dtype.type(window.hi[1])
         results: list[np.ndarray] = []
         for c in range(first, last + 1):
             store = self._stores[c]
             model = self._models[c]
             if store is None or model is None:
                 continue
-            lo = locate_rank(store.keys, window.lo[1], model.search_range(window.lo[1]), "left")
-            hi = locate_rank(store.keys, window.hi[1], model.search_range(window.hi[1]), "right")
+            lo = locate_rank(store.keys, y_lo, model.search_range(y_lo), "left")
+            hi = locate_rank(store.keys, y_hi, model.search_range(y_hi), "right")
             pts, _keys, _ids = store.scan(lo, hi)
             self.query_stats.model_invocations += 2
             self.query_stats.points_scanned += len(pts)
@@ -314,11 +330,15 @@ class FloodIndex(LearnedSpatialIndex):
     def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
         """Batch window queries over flattened (window, column) pairs.
 
-        Every window expands to its visited-column pairs; with the fused
-        engine, the boundary predictions for *all* pairs run in two grouped
-        forward passes (one per window edge) instead of two per pair.  Scan
-        boundaries stay gallop-refined per pair, so results match the
-        scalar :meth:`window_query` exactly.
+        Every window expands to its visited-column pairs.  Per visited
+        column, *all* pairs' boundary ranks come from two batched
+        ``searchsorted`` calls over the cast key column (the exact ranks
+        the scalar path's model-hinted galloping search converges to — no
+        model pass at all), and the scan + rectangle filter runs through
+        the fused refinement kernel
+        (:func:`~repro.perf.batching.batch_window_refine`).  Results match
+        the scalar :meth:`window_query` exactly, concatenation order
+        included (columns ascending per window).
         """
         self._check_built()
         if not windows:
@@ -339,35 +359,30 @@ class FloodIndex(LearnedSpatialIndex):
                 return [np.empty((0, w.ndim)) for w in windows]
             wins = np.array(pair_win, dtype=np.int64)
             cols = np.array(pair_col, dtype=np.int64)
-            y_lo = np.array([windows[w].lo[1] for w in wins])
-            y_hi = np.array([windows[w].hi[1] for w in wins])
-            if self._engine is not None and self._col_to_midx is not None:
-                midx = self._col_to_midx[cols]
-                with _span(
-                    "query.model_predict", index=self.name, queries=2 * len(wins)
-                ):
-                    lo_l, lo_h = self._engine.search_ranges(midx, y_lo)
-                    hi_l, hi_h = self._engine.search_ranges(midx, y_hi)
-                hints_lo = list(zip(lo_l.tolist(), lo_h.tolist()))
-                hints_hi = list(zip(hi_l.tolist(), hi_h.tolist()))
+            y_lo = cast_boundaries(
+                np.array([windows[w].lo[1] for w in wins]), self.key_dtype
+            )
+            y_hi = cast_boundaries(
+                np.array([windows[w].hi[1] for w in wins]), self.key_dtype
+            )
+            rect_lo = np.vstack([windows[w].lo_array for w in wins])
+            rect_hi = np.vstack([windows[w].hi_array for w in wins])
+            with _span("query.refine", index=self.name, queries=len(wins)):
                 for c in np.unique(cols):
-                    self._models[c].invocations += 2 * int((cols == c).sum())
-            else:
-                hints_lo = [self._models[c].search_range(v) for c, v in zip(cols, y_lo)]
-                hints_hi = [self._models[c].search_range(v) for c, v in zip(cols, y_hi)]
-            for i in range(len(wins)):
-                window = windows[wins[i]]
-                store = self._stores[cols[i]]
-                assert store is not None
-                lo = locate_rank(store.keys, y_lo[i], hints_lo[i], "left")
-                hi = locate_rank(store.keys, y_hi[i], hints_hi[i], "right")
-                pts, _keys, _ids = store.scan(lo, hi)
-                self.query_stats.model_invocations += 2
-                self.query_stats.points_scanned += len(pts)
-                if len(pts):
-                    inside = pts[window.contains_points(pts)]
-                    if len(inside):
-                        results[wins[i]].append(inside)
+                    store = self._stores[c]
+                    assert store is not None
+                    sel = np.flatnonzero(cols == c)
+                    lo = np.searchsorted(store.keys, y_lo[sel], side="left")
+                    hi = np.searchsorted(store.keys, y_hi[sel], side="right")
+                    self.query_stats.points_scanned += int(
+                        np.maximum(hi - lo, 0).sum()
+                    )
+                    parts = batch_window_refine(
+                        store, lo, hi, rect_lo[sel], rect_hi[sel]
+                    )
+                    for pair, part in zip(sel, parts):
+                        if len(part):
+                            results[wins[pair]].append(part)
         return [
             np.vstack(chunks) if chunks else np.empty((0, windows[wi].ndim))
             for wi, chunks in enumerate(results)

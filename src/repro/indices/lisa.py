@@ -24,7 +24,8 @@ from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
 from repro.obs.query_obs import record_range_widths
 from repro.obs.trace import span as _span
-from repro.perf.batching import batch_point_membership
+from repro.perf.batching import batch_point_membership, batch_window_refine
+from repro.perf.batching import merge_ranges as batching_merge_ranges
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
 
@@ -104,7 +105,9 @@ class LISAIndex(LearnedSpatialIndex):
         for dim in range(d):
             cell_id = cell_id * self.grid_size + cells[:, dim]
         offsets = self._in_cell_offset(pts, cells)
-        return cell_id + offsets
+        # Cast to the configured key dtype so build-time store keys and
+        # query-time probes share one (monotone) quantisation.
+        return (cell_id + offsets).astype(self.key_dtype, copy=False)
 
     def _cell_edges(self, cells: np.ndarray, dim: int) -> tuple[np.ndarray, np.ndarray]:
         """Lower/upper coordinate of each point's cell along ``dim``."""
@@ -193,7 +196,7 @@ class LISAIndex(LearnedSpatialIndex):
             return np.zeros(0, dtype=bool)
         with _span("query.point_batch", index=self.name, queries=len(pts)):
             with _span("query.model_predict", index=self.name, queries=len(pts)):
-                keys = np.asarray(self.map(pts), dtype=np.float64)
+                keys = self.map(pts)
                 lo, hi = self.model.search_ranges(keys)
             # Vectorised _shard_aligned: widen by inserts, round to whole shards.
             lo = ((lo - self._native_inserts) // self.shard_size) * self.shard_size
@@ -250,6 +253,86 @@ class LISAIndex(LearnedSpatialIndex):
         if not results:
             return np.empty((0, d))
         return np.vstack(results)
+
+    def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
+        """Vectorised batch window queries (approximate, like the scalar).
+
+        Every window's per-cell-run shard-predictor probes run in two
+        batched forward passes (one per run edge) instead of two scalar
+        predictions per run; ranges are shard-aligned arithmetically over
+        the whole batch, merged per window, and refined through the fused
+        scan + rectangle kernel
+        (:func:`~repro.perf.batching.batch_window_refine`).  Probe values
+        and merge behaviour match :meth:`window_query` exactly, so results
+        are identical to looping it.
+        """
+        self._check_built()
+        assert self.store is not None and self.model is not None
+        if not windows:
+            return []
+        w = len(windows)
+        d = windows[0].ndim
+        with _span("query.window_batch", index=self.name, windows=w):
+            self.query_stats.queries += w
+            lo_corners = np.vstack([win.lo_array for win in windows])
+            hi_corners = np.vstack([win.hi_array for win in windows])
+            cell_lo = np.clip(self._cell_indices(lo_corners), 0, self.grid_size - 1)
+            cell_hi = np.clip(self._cell_indices(hi_corners), 0, self.grid_size - 1)
+            lo_probes: list[float] = []
+            hi_probes: list[float] = []
+            probe_owner: list[int] = []
+            for wi in range(w):
+                leading = [
+                    range(cell_lo[wi, dim], cell_hi[wi, dim] + 1)
+                    for dim in range(d - 1)
+                ]
+                for prefix in _product(leading):
+                    first = self._row_major((*prefix, int(cell_lo[wi, d - 1])))
+                    last = self._row_major((*prefix, int(cell_hi[wi, d - 1])))
+                    lo_probes.append(first)
+                    hi_probes.append(last + 1.0 - 1e-9)
+                    probe_owner.append(wi)
+            with _span(
+                "query.model_predict", index=self.name, queries=2 * len(probe_owner)
+            ):
+                lo_pred, _ = self.model.search_ranges(np.array(lo_probes))
+                _, hi_pred = self.model.search_ranges(np.array(hi_probes))
+            self.query_stats.model_invocations += 2 * len(probe_owner)
+            # Vectorised _shard_aligned over every probe range at once.
+            lo = (
+                (lo_pred - self._native_inserts) // self.shard_size
+            ) * self.shard_size
+            hi = -(
+                -(hi_pred + self._native_inserts) // self.shard_size
+            ) * self.shard_size
+            lo = np.maximum(lo, 0)
+            hi = np.minimum(hi, self.n_points)
+            owner_arr = np.asarray(probe_owner, dtype=np.int64)
+            starts_parts: list[np.ndarray] = []
+            ends_parts: list[np.ndarray] = []
+            owner_parts: list[np.ndarray] = []
+            for wi in range(w):
+                sel = owner_arr == wi
+                starts, ends = batching_merge_ranges(lo[sel], hi[sel])
+                starts_parts.append(starts)
+                ends_parts.append(ends)
+                owner_parts.append(np.full(len(starts), wi, dtype=np.int64))
+            r_lo = np.concatenate(starts_parts)
+            r_hi = np.concatenate(ends_parts)
+            r_own = np.concatenate(owner_parts)
+            self.query_stats.points_scanned += int(np.maximum(r_hi - r_lo, 0).sum())
+            with _span("query.refine", index=self.name, queries=w):
+                parts = batch_window_refine(
+                    self.store, r_lo, r_hi, lo_corners[r_own], hi_corners[r_own]
+                )
+            collected: list[list[np.ndarray]] = [[] for _ in range(w)]
+            for own, part in zip(r_own, parts):
+                if len(part):
+                    collected[own].append(part)
+            return [
+                np.vstack(chunks) if chunks else np.empty((0, d))
+                for chunks in collected
+            ]
 
     def _row_major(self, cell: tuple[int, ...]) -> float:
         """Row-major cell ID of integer cell coordinates."""

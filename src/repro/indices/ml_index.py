@@ -22,7 +22,7 @@ from repro.indices.rmi import RMIModel
 from repro.indices.zm import locate_rank
 from repro.obs.query_obs import record_range_widths
 from repro.obs.trace import span as _span
-from repro.perf.batching import batch_point_membership, merge_ranges
+from repro.perf.batching import batch_point_membership, cast_boundaries, merge_ranges
 from repro.spatial.idistance import IDistanceMapping
 from repro.spatial.rect import Rect
 from repro.storage.blocks import BlockStore
@@ -65,10 +65,15 @@ class MLIndex(LearnedSpatialIndex):
 
     # ------------------------------------------------------------------
     def map(self, points: np.ndarray) -> np.ndarray:
-        """The base index's ``map()``: iDistance keys."""
+        """The base index's ``map()``: iDistance keys, in the key dtype.
+
+        The cast happens here so build-time store keys and query-time probe
+        keys are bit-identical for equal coordinates; error bounds are
+        measured over the cast keys.
+        """
         if self.mapping is None:
             raise RuntimeError("ML index is not built yet")
-        return self.mapping.keys(points)
+        return self.mapping.keys(points).astype(self.key_dtype, copy=False)
 
     def build(self, points: np.ndarray) -> "MLIndex":
         pts = self._prepare_points(points)
@@ -78,7 +83,7 @@ class MLIndex(LearnedSpatialIndex):
         self.mapping = IDistanceMapping.fit(
             pts, n_references=self.n_references, seed=self.seed
         )
-        keys = self.mapping.keys(pts)
+        keys = self.map(pts)
         self.store = BlockStore(pts, keys, block_size=self.block_size)
         self.build_stats.prepare_seconds += time.perf_counter() - started
 
@@ -129,7 +134,7 @@ class MLIndex(LearnedSpatialIndex):
             return np.zeros(0, dtype=bool)
         with _span("query.point_batch", index=self.name, queries=len(pts)):
             with _span("query.model_predict", index=self.name, queries=len(pts)):
-                keys = np.asarray(self.map(pts), dtype=np.float64)
+                keys = self.map(pts)
                 lo, hi = self.model.search_ranges(keys)
             lo = np.maximum(lo - self._native_inserts, 0)
             hi = np.minimum(hi + self._native_inserts, len(self.store))
@@ -143,8 +148,18 @@ class MLIndex(LearnedSpatialIndex):
                 )
 
     def _scan_key_interval(self, key_lo: float, key_hi: float) -> np.ndarray:
-        """Exact scan of all points with key in [key_lo, key_hi]."""
+        """Scan all points whose *stored* key lies in the cast interval.
+
+        Boundaries go through the key-dtype cast: for quantised key columns
+        a raw float64 boundary could fall above a stored key whose true
+        (pre-cast) value is inside the interval, so the monotone cast —
+        which brackets a superset of the true candidates — is required for
+        correctness, not just speed.  Downstream exact coordinate/distance
+        filters remove the extras.
+        """
         assert self.store is not None and self.model is not None
+        key_lo = self.key_dtype.type(key_lo)
+        key_hi = self.key_dtype.type(key_hi)
         lo = locate_rank(self.store.keys, key_lo, self.model.search_range(key_lo), "left")
         hi = locate_rank(self.store.keys, key_hi, self.model.search_range(key_hi), "right")
         pts, _keys, _ids = self.store.scan(lo, hi)
@@ -267,16 +282,26 @@ class MLIndex(LearnedSpatialIndex):
             rd = ref_dist[active]
             key_lo = base[None, :] + np.maximum(0.0, rd - r)
             key_hi = base[None, :] + rd + r
-            lo = np.searchsorted(store_keys, key_lo.ravel(), side="left")
-            hi = np.searchsorted(store_keys, key_hi.ravel(), side="right")
+            # Boundaries pass through the same monotone key-dtype cast as
+            # the scalar path, so both search the identical (superset)
+            # candidate runs over quantised key columns.
+            lo = np.searchsorted(
+                store_keys,
+                cast_boundaries(key_lo.ravel(), store_keys.dtype),
+                side="left",
+            )
+            hi = np.searchsorted(
+                store_keys,
+                cast_boundaries(key_hi.ravel(), store_keys.dtype),
+                side="right",
+            )
             counts = hi - lo
             # Scalar-path accounting: two boundary locations per annulus
             # interval, every candidate row charged once; block reads are
-            # charged through one fused gather per merged interval group.
+            # charged once per merged interval group, vectorised.
             self.query_stats.model_invocations += 2 * a * m
             self.query_stats.points_scanned += int(counts.sum())
-            for g_lo, g_hi in zip(*merge_ranges(lo, hi)):
-                self.store.scan(int(g_lo), int(g_hi))
+            self.store.charge_block_reads(*merge_ranges(lo, hi))
             total = int(counts.sum())
             per_query = counts.reshape(a, m).sum(axis=1)
             if total:

@@ -39,6 +39,7 @@ from repro.indices.base import (
     ModelBuilder,
     TrainedModel,
 )
+from repro.ml.ffn import FFN
 from repro.obs.trace import span as _span
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
@@ -135,8 +136,29 @@ class RSMIIndex(LearnedSpatialIndex):
         return self._build_levelwise(points, bounds, depth)
 
     def _node_keys(self, points: np.ndarray, bounds: Rect) -> np.ndarray:
-        """Morton codes local to the node's bounding box."""
-        return zvalues(points, bounds, self.bits).astype(np.float64)
+        """Morton codes local to the node's bounding box.
+
+        Cast to the configured key dtype so build-time sort keys and
+        query-time probe keys share one (monotone) quantisation — equal
+        coordinates always produce bit-equal node-local keys.
+        """
+        return zvalues(points, bounds, self.bits, dtype=self.key_dtype)
+
+    def _cast_node_model(self, model: TrainedModel, node_keys: np.ndarray) -> None:
+        """Apply the builder's reduced-precision mode to one node model.
+
+        Mirrors :meth:`repro.indices.rmi.RMIModel._cast_model`: cast the
+        network down and re-measure the error bounds over the node's full
+        (cast) key partition, so predict-and-scan stays exact under the new
+        arithmetic.  Must run *before* :meth:`_split_specs` routes the
+        partition — query-time routing repeats the build-time computation,
+        so the precision drop has to land first.
+        """
+        if getattr(self.builder, "dtype", "float64") == "float32" and isinstance(
+            model.net, FFN
+        ):
+            model.net.astype(np.float32)
+            model.measure_error_bounds(node_keys)
 
     def _sort_by_node_keys(
         self, points: np.ndarray, bounds: Rect
@@ -184,6 +206,7 @@ class RSMIIndex(LearnedSpatialIndex):
         model = self.builder.build_model(
             sorted_keys, sorted_pts, self.build_stats, map_fn=node_map
         )
+        self._cast_node_model(model, sorted_keys)
         node = _Node(bounds=bounds, model=model, n=len(points), depth=depth)
 
         specs = self._split_specs(node, sorted_pts, sorted_keys)
@@ -237,6 +260,7 @@ class RSMIIndex(LearnedSpatialIndex):
         for (pts, bounds, depth, attach), (sorted_pts, sorted_keys), model in zip(
             frontier, prepared, models
         ):
+            self._cast_node_model(model, sorted_keys)
             node = _Node(bounds=bounds, model=model, n=len(pts), depth=depth)
             attach(node)
             specs = self._split_specs(node, sorted_pts, sorted_keys)
@@ -299,6 +323,7 @@ class RSMIIndex(LearnedSpatialIndex):
     def _make_singleton_leaf(self, point: np.ndarray, bounds: Rect, depth: int) -> _Node:
         keys = self._node_keys(point[None, :], bounds)
         model = self.builder.build_model(keys, point[None, :], self.build_stats)
+        self._cast_node_model(model, keys)
         node = _Node(bounds=bounds, model=model, n=1, depth=depth)
         node.store = BlockStore(point[None, :], keys, block_size=self.block_size)
         return node

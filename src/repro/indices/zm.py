@@ -22,7 +22,7 @@ from repro.indices.base import LearnedSpatialIndex, ModelBuilder
 from repro.indices.rmi import RMIModel
 from repro.obs.query_obs import record_range_widths
 from repro.obs.trace import span as _span
-from repro.perf.batching import batch_point_membership
+from repro.perf.batching import batch_point_membership, batch_window_refine
 from repro.spatial.rect import Rect
 from repro.spatial.zcurve import zvalues
 from repro.storage.blocks import BlockStore
@@ -99,17 +99,24 @@ class ZMIndex(LearnedSpatialIndex):
 
     # ------------------------------------------------------------------
     def map(self, points: np.ndarray) -> np.ndarray:
-        """The base index's ``map()``: Morton codes as float keys."""
+        """The base index's ``map()``: Morton codes as float keys.
+
+        Codes are cast to the configured key dtype here, so build-time
+        store keys and query-time probe keys go through the identical
+        (monotone) quantisation — equal coordinates always produce
+        bit-equal keys, and error bounds measured over the cast keys keep
+        predict-and-scan exact.
+        """
         self._check_built()
         assert self.bounds is not None
-        return zvalues(points, self.bounds, self.bits).astype(np.float64)
+        return zvalues(points, self.bounds, self.bits, dtype=self.key_dtype)
 
     def build(self, points: np.ndarray) -> "ZMIndex":
         pts = self._prepare_points(points)
         started = time.perf_counter()
         self.bounds = Rect.bounding(pts)
         self.n_points = len(pts)
-        keys = zvalues(pts, self.bounds, self.bits).astype(np.float64)
+        keys = zvalues(pts, self.bounds, self.bits, dtype=self.key_dtype)
         self.store = BlockStore(pts, keys, block_size=self.block_size)
         self.build_stats.prepare_seconds += time.perf_counter() - started
 
@@ -169,7 +176,7 @@ class ZMIndex(LearnedSpatialIndex):
             return np.zeros(0, dtype=bool)
         with _span("query.point_batch", index=self.name, queries=len(pts)):
             with _span("query.model_predict", index=self.name, queries=len(pts)):
-                keys = np.asarray(self.map(pts), dtype=np.float64)
+                keys = self.map(pts)
                 lo, hi = self.model.search_ranges(keys)
             lo = np.maximum(lo - self._native_inserts, 0)
             hi = np.minimum(hi + self._native_inserts, len(self.store))
@@ -183,47 +190,30 @@ class ZMIndex(LearnedSpatialIndex):
     def window_queries(self, windows: "list[Rect]") -> list[np.ndarray]:
         """Vectorised batch window queries.
 
-        All windows' corner Morton codes go through ``map()`` and the model
-        in one pass (2W keys, one forward pass per visited member model)
-        instead of 2W separate predictions; each window then refines its
-        own boundaries with :func:`locate_rank` and scans, so results are
-        identical to looping :meth:`window_query`.
+        The per-window ``locate_rank`` + scan + ``contains_points`` loop is
+        replaced by two batched ``searchsorted`` calls over the cast key
+        column (the exact global ranks the scalar path's model-hinted
+        galloping search converges to — the model pass is skipped entirely)
+        and one fused rectangle-refinement kernel over all windows' scan
+        ranges (:func:`~repro.perf.batching.batch_window_refine`).  Results
+        are identical to looping :meth:`window_query`.
         """
         self._check_built()
         assert self.store is not None and self.model is not None
         if not windows:
             return []
         with _span("query.window_batch", index=self.name, windows=len(windows)):
-            corners = np.vstack([w.lo_array for w in windows] + [w.hi_array for w in windows])
             w = len(windows)
-            with _span("query.model_predict", index=self.name, queries=2 * w):
-                z = np.asarray(self.map(corners), dtype=np.float64)
-                lo_pred, hi_pred = self.model.search_ranges(z)
-            record_range_widths(self.name, lo_pred, hi_pred)
+            win_lo = np.vstack([win.lo_array for win in windows])
+            win_hi = np.vstack([win.hi_array for win in windows])
+            z = self.map(np.vstack([win_lo, win_hi]))
             with _span("query.refine", index=self.name, queries=w):
-                results: list[np.ndarray] = []
-                for i, window in enumerate(windows):
-                    lo = locate_rank(
-                        self.store.keys,
-                        float(z[i]),
-                        (int(lo_pred[i]), int(hi_pred[i])),
-                        "left",
-                    )
-                    hi = locate_rank(
-                        self.store.keys,
-                        float(z[w + i]),
-                        (int(lo_pred[w + i]), int(hi_pred[w + i])),
-                        "right",
-                    )
-                    pts, _keys, _ids = self.store.scan(lo, hi)
-                    self.query_stats.queries += 1
-                    self.query_stats.model_invocations += 2
-                    self.query_stats.points_scanned += len(pts)
-                    if len(pts) == 0:
-                        results.append(pts)
-                    else:
-                        results.append(pts[window.contains_points(pts)])
-            return results
+                lo = np.searchsorted(self.store.keys, z[:w], side="left")
+                hi = np.searchsorted(self.store.keys, z[w:], side="right")
+                record_range_widths(self.name, lo, hi)
+                self.query_stats.queries += w
+                self.query_stats.points_scanned += int(np.maximum(hi - lo, 0).sum())
+                return batch_window_refine(self.store, lo, hi, win_lo, win_hi)
 
     def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
         return self._knn_by_expanding_window(point, k)

@@ -26,11 +26,19 @@ __all__ = ["PiecewiseLinearModel", "fit_pla"]
 
 @dataclass(frozen=True)
 class _Segment:
-    """One linear piece: valid from ``start`` (key space), y = slope*x + intercept."""
+    """One linear piece: valid from ``start`` (key space).
+
+    Evaluated in anchor form ``y = slope * (x - anchor_x) + anchor_y``
+    rather than slope/intercept form: when two keys sit a few ulps apart
+    the corridor slope can reach ~1e15, and ``anchor_y - slope * anchor_x``
+    would cancel catastrophically (the intercept's ulp dwarfs epsilon).
+    Anchor form keeps every rounding at the scale of the y-range.
+    """
 
     start: float
     slope: float
-    intercept: float
+    anchor_x: float
+    anchor_y: float
 
 
 class PiecewiseLinearModel:
@@ -47,7 +55,8 @@ class PiecewiseLinearModel:
         self.epsilon = epsilon
         self._starts = np.array([s.start for s in segments])
         self._slopes = np.array([s.slope for s in segments])
-        self._intercepts = np.array([s.intercept for s in segments])
+        self._anchors_x = np.array([s.anchor_x for s in segments])
+        self._anchors_y = np.array([s.anchor_y for s in segments])
 
     @property
     def n_segments(self) -> int:
@@ -59,7 +68,7 @@ class PiecewiseLinearModel:
         if arr.ndim == 2:
             arr = arr[:, 0]
         idx = np.clip(np.searchsorted(self._starts, arr, side="right") - 1, 0, None)
-        return self._slopes[idx] * arr + self._intercepts[idx]
+        return self._slopes[idx] * (arr - self._anchors_x[idx]) + self._anchors_y[idx]
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.predict(x)
@@ -103,7 +112,9 @@ def fit_pla(
             slope = hi
         else:
             slope = lo / 2.0 + hi / 2.0  # avoids overflow of (lo + hi)
-        segments.append(_Segment(start=start, slope=slope, intercept=anchor_y - slope * anchor_x))
+        segments.append(
+            _Segment(start=start, slope=slope, anchor_x=anchor_x, anchor_y=anchor_y)
+        )
 
     # Gaps too small to divide by without overflow behave as duplicates.
     tiny = np.finfo(np.float64).tiny * 4.0

@@ -31,7 +31,11 @@ __all__ = [
 
 
 def _as_sorted(keys: np.ndarray, assume_sorted: bool) -> np.ndarray:
-    arr = np.asarray(keys, dtype=np.float64).ravel()
+    # Preserve floating key dtypes (float32 key columns stay float32 — the
+    # CDF statistics only need ranks); integers still upcast to float64.
+    arr = np.asarray(keys).ravel()
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
     if len(arr) == 0:
         raise ValueError("cannot compute a CDF of an empty key set")
     if not assume_sorted:

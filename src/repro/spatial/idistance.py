@@ -35,13 +35,18 @@ class IDistanceMapping:
 
         The stretch constant is set above the space diameter so partitions
         can never overlap in key space even after later insertions.
+
+        Floating inputs keep their dtype (float32 points yield float32
+        references and distances); other dtypes upcast to float64.
         """
-        pts = np.asarray(points, dtype=np.float64)
+        pts = np.asarray(points)
+        if not np.issubdtype(pts.dtype, np.floating):
+            pts = pts.astype(np.float64)
         if pts.ndim != 2 or len(pts) == 0:
             raise ValueError("need a non-empty (n, d) array of points")
         k = min(n_references, len(pts))
         result = kmeans(pts, k, seed=seed)
-        span = pts.max(axis=0) - pts.min(axis=0)
+        span = pts.max(axis=0).astype(np.float64) - pts.min(axis=0).astype(np.float64)
         diameter = float(np.sqrt((span**2).sum()))
         stretch = max(diameter * 2.0, 1e-9)
         return IDistanceMapping(references=result.centroids, stretch=stretch)
@@ -52,12 +57,14 @@ class IDistanceMapping:
 
     def nearest_reference(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(partition id, distance to it) per point."""
-        pts = np.asarray(points, dtype=np.float64)
+        pts = np.asarray(points)
+        if not np.issubdtype(pts.dtype, np.floating):
+            pts = pts.astype(np.float64)
         if pts.ndim == 1:
             pts = pts[None, :]
         # Blockwise distance computation to bound memory.
         ids = np.empty(len(pts), dtype=np.int64)
-        dists = np.empty(len(pts))
+        dists = np.empty(len(pts), dtype=np.result_type(pts, self.references))
         r_norm = np.einsum("ij,ij->i", self.references, self.references)
         for start in range(0, len(pts), 8192):
             chunk = pts[start : start + 8192]

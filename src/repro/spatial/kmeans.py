@@ -28,9 +28,9 @@ class KMeansResult:
 def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
     """k-means++ seeding: spread initial centroids by D^2 sampling."""
     n = len(points)
-    centroids = np.empty((k, points.shape[1]))
+    centroids = np.empty((k, points.shape[1]), dtype=points.dtype)
     centroids[0] = points[rng.integers(n)]
-    closest_sq = np.full(n, np.inf)
+    closest_sq = np.full(n, np.inf, dtype=points.dtype)
     for i in range(1, k):
         diff = points - centroids[i - 1]
         dist_sq = np.einsum("ij,ij->i", diff, diff)
@@ -40,7 +40,9 @@ def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.n
             # All points coincide with chosen centroids; duplicate one.
             centroids[i:] = points[rng.integers(n, size=k - i)]
             return centroids
-        probs = closest_sq / total
+        # rng.choice needs float64 probabilities summing to one exactly.
+        probs = closest_sq.astype(np.float64) / float(total)
+        probs /= probs.sum()
         centroids[i] = points[rng.choice(n, p=probs)]
     return centroids
 
@@ -57,8 +59,14 @@ def kmeans(
     ``max_iterations`` defaults low because CL only needs centroids that
     summarise density, not a converged optimum; the paper's complexity
     analysis treats the iteration count ``i`` as a constant factor.
+
+    Floating inputs keep their dtype (float32 points cluster in float32 —
+    centroids, distances and inertia included); other dtypes upcast to
+    float64.
     """
-    pts = np.asarray(points, dtype=np.float64)
+    pts = np.asarray(points)
+    if not np.issubdtype(pts.dtype, np.floating):
+        pts = pts.astype(np.float64)
     if pts.ndim != 2 or len(pts) == 0:
         raise ValueError("need a non-empty (n, d) array of points")
     if k < 1:

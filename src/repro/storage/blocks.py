@@ -28,6 +28,13 @@ class BlockStore:
         numbers), used by the update processor's side list.
     block_size:
         Points per block (the paper's B).
+    key_dtype:
+        Storage dtype for the sorted key column.  Defaults to the dtype the
+        keys arrive in (floating inputs are kept as-is, everything else is
+        cast to float64), so a float32 mapping pipeline halves key memory
+        and ``searchsorted`` traffic.  Query boundaries must be cast through
+        the same round-to-nearest conversion before searching (the cast is
+        monotone, so cast boundaries bracket a superset of the candidates).
     """
 
     def __init__(
@@ -36,9 +43,17 @@ class BlockStore:
         keys: np.ndarray,
         ids: np.ndarray | None = None,
         block_size: int = 100,
+        key_dtype: np.dtype | str | None = None,
     ) -> None:
         pts = np.asarray(points, dtype=np.float64)
-        key_arr = np.asarray(keys, dtype=np.float64)
+        key_arr = np.asarray(keys)
+        if key_dtype is None:
+            key_dtype = (
+                key_arr.dtype
+                if np.issubdtype(key_arr.dtype, np.floating)
+                else np.float64
+            )
+        key_arr = key_arr.astype(np.dtype(key_dtype), copy=False)
         if pts.ndim != 2:
             raise ValueError(f"expected (n, d) points, got shape {pts.shape}")
         if key_arr.shape != (len(pts),):
@@ -96,13 +111,34 @@ class BlockStore:
         if hi <= lo:
             return (
                 np.empty((0, self.points.shape[1])),
-                np.empty(0),
+                np.empty(0, dtype=self.keys.dtype),
                 np.empty(0, dtype=np.int64),
             )
         first_block = lo // self.block_size
         last_block = (hi - 1) // self.block_size
         self._reads += last_block - first_block + 1
         return self.points[lo:hi], self.keys[lo:hi], self.ids[lo:hi]
+
+    def charge_block_reads(self, starts: np.ndarray, ends: np.ndarray) -> int:
+        """Charge block reads for disjoint half-open ranges without gathering.
+
+        Vectorised accounting equivalent of calling :meth:`scan` once per
+        ``[start, end)`` range: each range is charged every block it touches.
+        Used by the fused batch kernels, which gather rows directly from the
+        sorted arrays instead of materialising per-range slices.  Returns the
+        number of reads charged.
+        """
+        starts = np.clip(np.asarray(starts, dtype=np.int64), 0, len(self.keys))
+        ends = np.clip(np.asarray(ends, dtype=np.int64), 0, len(self.keys))
+        keep = ends > starts
+        starts, ends = starts[keep], ends[keep]
+        if len(starts) == 0:
+            return 0
+        reads = int(
+            ((ends - 1) // self.block_size - starts // self.block_size + 1).sum()
+        )
+        self._reads += reads
+        return reads
 
     def scan_key_range(
         self, key_lo: float, key_hi: float
@@ -124,9 +160,10 @@ class BlockStore:
             raise ValueError(
                 f"expected a point of dim {self.points.shape[1]}, got {p.shape}"
             )
+        key = self.keys.dtype.type(key)
         pos = int(np.searchsorted(self.keys, key, side="right"))
         self.points = np.insert(self.points, pos, p, axis=0)
-        self.keys = np.insert(self.keys, pos, float(key))
+        self.keys = np.insert(self.keys, pos, key)
         self.ids = np.insert(self.ids, pos, int(point_id))
         return pos
 

@@ -77,7 +77,8 @@ def _model_payload(model: TrainedModel, prefix: str, arrays: dict) -> dict:
         meta["epsilon"] = net.epsilon
         arrays[f"{prefix}.starts"] = net._starts
         arrays[f"{prefix}.slopes"] = net._slopes
-        arrays[f"{prefix}.intercepts"] = net._intercepts
+        arrays[f"{prefix}.anchors_x"] = net._anchors_x
+        arrays[f"{prefix}.anchors_y"] = net._anchors_y
     else:
         raise TypeError(f"cannot persist model net of type {type(net).__name__}")
     return meta
@@ -97,11 +98,12 @@ def _model_from_payload(meta: dict, prefix: str, arrays) -> TrainedModel:
             net.astype(np.float32)
     elif meta["net_type"] == "pla":
         segments = [
-            _Segment(start=float(s), slope=float(m), intercept=float(b))
-            for s, m, b in zip(
+            _Segment(start=float(s), slope=float(m), anchor_x=float(ax), anchor_y=float(ay))
+            for s, m, ax, ay in zip(
                 arrays[f"{prefix}.starts"],
                 arrays[f"{prefix}.slopes"],
-                arrays[f"{prefix}.intercepts"],
+                arrays[f"{prefix}.anchors_x"],
+                arrays[f"{prefix}.anchors_y"],
             )
         ]
         net = PiecewiseLinearModel(segments, epsilon=meta["epsilon"])
@@ -138,6 +140,18 @@ def _store_from_arrays(data, prefix: str, block_size: int) -> BlockStore:
     store.block_size = block_size
     store._reads = 0
     return store
+
+
+def _restore_key_dtype(index, keys: np.ndarray) -> None:
+    """Pin the loaded index's key dtype to the snapshot's stored keys.
+
+    The snapshot's quantisation is authoritative: probe keys must go
+    through the same cast the stored keys did at build time, whatever
+    ``REPRO_DTYPE`` the *loading* process runs under — otherwise equal
+    coordinates would map to unequal keys and point lookups would miss.
+    """
+    if np.issubdtype(keys.dtype, np.floating):
+        index.key_dtype = np.dtype(keys.dtype)
 
 
 def _rmi_payload(model: RMIModel, arrays: dict, prefix: str = "m") -> dict:
@@ -235,6 +249,7 @@ def load_zm_index(path: str | Path) -> ZMIndex:
         index.n_points = meta["n_points"]
         index._native_inserts = meta["native_inserts"]
         index.store = _store_from_arrays(data, "", meta["block_size"])
+        _restore_key_dtype(index, index.store.keys)
         index.model = _rmi_from_payload(
             meta, data, index.builder, meta["branching"], prefix="m",
             sorted_keys=index.store.keys,
@@ -287,6 +302,7 @@ def load_ml_index(path: str | Path) -> MLIndex:
             references=data["references"], stretch=meta["stretch"]
         )
         index.store = _store_from_arrays(data, "", meta["block_size"])
+        _restore_key_dtype(index, index.store.keys)
         index.model = _rmi_from_payload(
             meta, data, index.builder, meta["branching"], prefix="m",
             sorted_keys=index.store.keys,
@@ -340,6 +356,7 @@ def load_lisa_index(path: str | Path) -> LISAIndex:
         ]
         index._weights = data["weights"]
         index.store = _store_from_arrays(data, "", meta["block_size"])
+        _restore_key_dtype(index, index.store.keys)
         index.model = _rmi_from_payload(meta, data, index.builder, 1, prefix="m")
     return index
 
@@ -394,6 +411,10 @@ def load_flood_index(path: str | Path) -> FloodIndex:
                 _store_from_arrays(data, f"c{c}.", meta["block_size"])
             )
             index._models.append(_model_from_payload(payload, f"c{c}.m", data))
+        for store in index._stores:
+            if store is not None:
+                _restore_key_dtype(index, store.keys)
+                break
         index._fuse_columns()
     return index
 
@@ -487,6 +508,10 @@ def load_rsmi_index(path: str | Path) -> RSMIIndex:
                 node.children = [
                     None if cid is None else built[cid] for cid in entry["children"]
                 ]
+        for node in built:
+            if node.store is not None:
+                _restore_key_dtype(index, node.store.keys)
+                break
         index.root = built[0]
     return index
 
